@@ -1,0 +1,50 @@
+"""Figure 15 — individual effect of the four optimizations on Q2 and Q9.
+
+The paper measures, for the two most expensive LUBM queries, how much elapsed
+time each optimization (+INT, -NLF, -DEG, +REUSE) removes when enabled alone
+on top of the unoptimized TurboHOM++.  The claims asserted here are the
+robust ones at laptop scale: the fully optimized configuration is faster than
+the unoptimized one on both queries, and disabling the NLF filter (-NLF) —
+the paper's biggest winner for Q9 — yields a positive saving.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import LUBM_LARGE_SCALE, report
+
+from repro.bench import experiments
+from repro.engine.turbo_engine import TurboEngine
+from repro.matching.config import MatchConfig
+
+
+def test_figure15_report(benchmark):
+    """Regenerate Figure 15 (as a table) and assert the headline effects."""
+    table = benchmark.pedantic(
+        lambda: experiments.figure15_optimizations(scale=LUBM_LARGE_SCALE, repeats=3),
+        rounds=1,
+        iterations=1,
+    )
+    report(table)
+    for row in table.rows:
+        query_id, baseline, int_saves, nlf_saves, deg_saves, reuse_saves, optimized = row
+        assert optimized < baseline, f"all optimizations together should speed up {query_id}"
+    nlf_savings = {row[0]: row[3] for row in table.rows}
+    assert nlf_savings["Q9"] > 0, "-NLF should save time on Q9 (the paper's largest effect)"
+
+
+@pytest.mark.parametrize("optimization", ["INT", "NLF", "DEG", "REUSE"])
+def test_figure15_single_optimization_q9(benchmark, lubm_large, optimization):
+    """Q9 with exactly one optimization enabled (the Figure 15 bars)."""
+    engine = TurboEngine(type_aware=True, config=MatchConfig().with_only(optimization))
+    engine.load(lubm_large.store)
+    result = benchmark(engine.query, lubm_large.queries["Q9"])
+    assert len(result) > 0
+
+
+def test_figure15_no_optimizations_q9(benchmark, lubm_large):
+    """Q9 with no optimizations (the Figure 15 baseline)."""
+    engine = TurboEngine(type_aware=True, config=MatchConfig.no_optimizations())
+    engine.load(lubm_large.store)
+    result = benchmark(engine.query, lubm_large.queries["Q9"])
+    assert len(result) > 0

@@ -1,0 +1,41 @@
+"""Table 2 — number of solutions of the LUBM queries per scale factor.
+
+The shape claim reproduced here: the constant-solution queries (Q1, Q3–Q5,
+Q7, Q8, Q10–Q12) return the same number of answers at every scale, while the
+increasing-solution queries (Q2, Q6, Q9, Q13, Q14) grow with the dataset.
+"""
+
+from __future__ import annotations
+
+from conftest import LUBM_SCALES, report
+
+from repro.bench import experiments
+from repro.datasets.lubm.queries import (
+    CONSTANT_SOLUTION_QUERIES,
+    INCREASING_SOLUTION_QUERIES,
+)
+
+
+def test_table2_report(benchmark):
+    """Regenerate Table 2 and verify the constant vs increasing split."""
+    table = benchmark.pedantic(
+        lambda: experiments.table2_lubm_solutions(lubm_scales=LUBM_SCALES),
+        rounds=1,
+        iterations=1,
+    )
+    report(table)
+    first_row, last_row = table.rows[0], table.rows[-1]
+    header = table.columns
+    for query_id in CONSTANT_SOLUTION_QUERIES:
+        index = header.index(query_id)
+        assert first_row[index] == last_row[index], f"{query_id} should be scale-independent"
+    for query_id in INCREASING_SOLUTION_QUERIES:
+        index = header.index(query_id)
+        assert last_row[index] > first_row[index], f"{query_id} should grow with the scale factor"
+
+
+def test_table2_counting_cost(benchmark, lubm_large, lubm_large_engines):
+    """Time counting the largest query (Q6: all students) on TurboHOM++."""
+    engine = lubm_large_engines["TurboHOM++"]
+    result = benchmark(engine.query, lubm_large.queries["Q6"])
+    assert len(result) > 0

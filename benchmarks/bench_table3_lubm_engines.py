@@ -1,0 +1,90 @@
+"""Table 3 — elapsed time of TurboHOM++ vs RDF-3X / TripleBit / System-X on LUBM.
+
+Two claims from the paper are asserted (Section 7.2):
+
+* TurboHOM++ is the fastest engine on (the aggregate of) the LUBM queries,
+* for constant-solution queries, the scan-then-join baselines slow down as
+  the dataset grows while TurboHOM++ stays (nearly) flat, because its work is
+  bounded by one candidate region.
+
+Absolute numbers are pure-Python milliseconds; only the ordering and scaling
+shape are claimed.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import LUBM_SCALES, report
+
+from repro.bench import experiments
+from repro.bench.harness import run_query
+
+
+def test_table3_report(benchmark):
+    """Regenerate Table 3 (one sub-table per scale) and assert who wins."""
+    tables = benchmark.pedantic(
+        lambda: experiments.table3_lubm_engines(lubm_scales=LUBM_SCALES, repeats=3),
+        rounds=1,
+        iterations=1,
+    )
+    report(*tables)
+
+    for table in tables:
+        turbo_total = sum(v for v in table.column("TurboHOM++") if isinstance(v, (int, float)))
+        # The scan-then-join engines lose in aggregate at every scale.
+        for competitor in ("RDF-3X", "TripleBit"):
+            competitor_total = sum(
+                v for v in table.column(competitor) if isinstance(v, (int, float))
+            )
+            assert turbo_total < competitor_total, (
+                f"TurboHOM++ should beat {competitor} in aggregate on {table.title}"
+            )
+        # System-X is the strongest competitor on selective queries but loses
+        # on the most expensive ones (the paper's observation for Q2/Q9).
+        queries = table.column("query")
+        for heavy in ("Q2", "Q9"):
+            index = queries.index(heavy)
+            turbo_time = table.column("TurboHOM++")[index]
+            bitmap_time = table.column("System-X*")[index]
+            assert turbo_time <= bitmap_time * 1.25, (
+                f"TurboHOM++ should not lose {heavy} to the bitmap engine on {table.title}"
+            )
+
+    # Scaling shape on a constant-solution query: the RDF-3X-style baseline
+    # degrades with the scale factor while TurboHOM++ stays within noise.
+    small, large = tables[0], tables[-1]
+    q4_index = small.column("query").index("Q4")
+    rdf3x_growth = large.column("RDF-3X")[q4_index] / max(small.column("RDF-3X")[q4_index], 1e-9)
+    turbo_small = small.column("TurboHOM++")[q4_index]
+    turbo_large = large.column("TurboHOM++")[q4_index]
+    assert rdf3x_growth > 1.5, "scan-then-join cost should grow with dataset size on Q4"
+    assert turbo_large < turbo_small * max(2.0, rdf3x_growth), (
+        "TurboHOM++ should scale better than RDF-3X on the constant-solution query Q4"
+    )
+
+
+@pytest.mark.parametrize("query_id", ["Q1", "Q2", "Q4", "Q9", "Q14"])
+def test_table3_turbohompp_query(benchmark, lubm_large, lubm_large_engines, query_id):
+    """Per-query TurboHOM++ timings on the large LUBM dataset."""
+    engine = lubm_large_engines["TurboHOM++"]
+    sparql = lubm_large.queries[query_id]
+    result = benchmark(engine.query, sparql)
+    assert len(result) >= 0
+
+
+@pytest.mark.parametrize("engine_name", ["RDF-3X", "TripleBit", "System-X*"])
+def test_table3_baseline_q2(benchmark, lubm_large, lubm_large_engines, engine_name):
+    """Baseline engines on the long-running triangle query Q2."""
+    engine = lubm_large_engines[engine_name]
+    result = benchmark(engine.query, lubm_large.queries["Q2"])
+    assert len(result) > 0
+
+
+def test_table3_turbohompp_beats_baselines_on_q2(lubm_large, lubm_large_engines):
+    """Point check of the headline claim on the most expensive query."""
+    timings = {
+        name: run_query(engine, "Q2", lubm_large.queries["Q2"], repeats=3).elapsed_ms
+        for name, engine in lubm_large_engines.items()
+        if name != "TurboHOM"
+    }
+    assert timings["TurboHOM++"] == min(timings.values())

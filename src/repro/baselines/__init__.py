@@ -1,0 +1,15 @@
+"""Baseline RDF engines the paper compares against (Section 7.1).
+
+* :class:`~repro.baselines.rdf3x.RDF3XEngine` — RDF-3X-style: six sorted
+  permutation indexes, per-pattern scans joined in selectivity order.
+* :class:`~repro.baselines.triplebit.TripleBitEngine` — TripleBit-style:
+  predicate-wise vertical partitioning with sorted (S,O)/(O,S) columns.
+* :class:`~repro.baselines.bitmap_engine.BitmapEngine` — the "System-X"
+  stand-in: per-predicate adjacency maps probed with index-nested-loop joins.
+"""
+
+from repro.baselines.rdf3x import RDF3XEngine
+from repro.baselines.triplebit import TripleBitEngine
+from repro.baselines.bitmap_engine import BitmapEngine
+
+__all__ = ["RDF3XEngine", "TripleBitEngine", "BitmapEngine"]

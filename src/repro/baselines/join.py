@@ -1,0 +1,242 @@
+"""Shared join machinery for the baseline engines.
+
+The baselines answer a basic graph pattern with classic relational
+strategies rather than graph exploration:
+
+* :func:`scan_join_bgp` — *scan-then-join*: each triple pattern is scanned
+  in full from the engine's indexes and the per-pattern results are joined
+  in ascending-cardinality order (hash joins).  This is the RDF-3X /
+  TripleBit evaluation shape — the work grows with the size of the scanned
+  lists, which is exactly why those systems slow down as the dataset grows
+  even for queries whose answer stays constant (Section 7.2).
+* :func:`nested_loop_bgp` — *index nested loop*: triple patterns are
+  instantiated one at a time with the bindings found so far, probing the
+  indexes with bound values.  This is the bitmap "System-X" stand-in shape —
+  constant-time behaviour on selective queries, but expensive on large
+  analytical joins (Q2/Q9).
+
+Both operate on dictionary-encoded ids; variables are plain strings.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.rdf.dictionary import Dictionary
+from repro.sparql.ast import TriplePattern, Variable
+
+#: A slot of an encoded pattern: a variable name or a constant id.
+Slot = Union[str, int]
+#: An encoded triple pattern.  ``None`` marks a pattern with an unknown
+#: constant — it can never match and makes the whole BGP empty.
+EncodedPattern = Optional[Tuple[Slot, Slot, Slot]]
+#: Bindings over dictionary ids.
+IdBinding = Dict[str, int]
+
+#: Signature of an index scan: (s, p, o) with None wildcards -> triples.
+ScanFunction = Callable[[Optional[int], Optional[int], Optional[int]], Iterable[Tuple[int, int, int]]]
+#: Signature of a cardinality estimate for a scan.
+EstimateFunction = Callable[[Optional[int], Optional[int], Optional[int]], int]
+
+
+def encode_pattern(pattern: TriplePattern, dictionary: Dictionary) -> EncodedPattern:
+    """Encode a triple pattern against the dictionary (None if unsatisfiable)."""
+    slots: List[Slot] = []
+    for position, term in enumerate(pattern.terms()):
+        if isinstance(term, Variable):
+            slots.append(str(term))
+        elif position == 1:
+            pred_id = dictionary.lookup_predicate(term)
+            if pred_id is None:
+                return None
+            slots.append(pred_id)
+        else:
+            node_id = dictionary.lookup_node(term)
+            if node_id is None:
+                return None
+            slots.append(node_id)
+    return (slots[0], slots[1], slots[2])
+
+
+def _constants(pattern: Tuple[Slot, Slot, Slot]) -> Tuple[Optional[int], Optional[int], Optional[int]]:
+    """The constant part of a pattern (None where a variable sits)."""
+    return tuple(slot if isinstance(slot, int) else None for slot in pattern)  # type: ignore[return-value]
+
+
+def _pattern_binding(pattern: Tuple[Slot, Slot, Slot], triple: Tuple[int, int, int]) -> Optional[IdBinding]:
+    """Bindings produced by matching a scanned triple against a pattern.
+
+    Returns None when the pattern repeats a variable with conflicting values
+    (e.g. ``?x ?p ?x`` against a non-loop triple).
+    """
+    binding: IdBinding = {}
+    for slot, value in zip(pattern, triple):
+        if isinstance(slot, int):
+            continue
+        if slot in binding and binding[slot] != value:
+            return None
+        binding[slot] = value
+    return binding
+
+
+# -------------------------------------------------------------- scan-then-join
+def scan_join_bgp(
+    patterns: Sequence[TriplePattern],
+    dictionary: Dictionary,
+    scan: ScanFunction,
+    estimate: EstimateFunction,
+) -> List[IdBinding]:
+    """Evaluate a BGP by scanning every pattern and hash-joining the results."""
+    encoded: List[Tuple[Slot, Slot, Slot]] = []
+    for pattern in patterns:
+        item = encode_pattern(pattern, dictionary)
+        if item is None:
+            return []
+        encoded.append(item)
+
+    # Scan each pattern in full (this is the cost that scales with data size).
+    scanned: List[Tuple[int, List[IdBinding]]] = []
+    for pattern in encoded:
+        constants = _constants(pattern)
+        rows: List[IdBinding] = []
+        for triple in scan(*constants):
+            binding = _pattern_binding(pattern, triple)
+            if binding is not None:
+                rows.append(binding)
+        scanned.append((len(rows), rows))
+
+    # Join in ascending cardinality order, preferring patterns that share a
+    # variable with the intermediate result (avoids premature cross products).
+    remaining = sorted(range(len(scanned)), key=lambda index: scanned[index][0])
+    if not remaining:
+        return [{}]
+    first = remaining.pop(0)
+    result = scanned[first][1]
+    bound_vars = set(result[0].keys()) if result else _pattern_vars(encoded[first])
+    while remaining:
+        connected = [
+            index for index in remaining if _pattern_vars(encoded[index]) & bound_vars
+        ]
+        pool = connected if connected else remaining
+        chosen = min(pool, key=lambda index: scanned[index][0])
+        remaining.remove(chosen)
+        result = hash_join(result, scanned[chosen][1])
+        bound_vars |= _pattern_vars(encoded[chosen])
+        if not result:
+            return []
+    return result
+
+
+def _pattern_vars(pattern: Tuple[Slot, Slot, Slot]) -> set:
+    """Variable names of an encoded pattern."""
+    return {slot for slot in pattern if isinstance(slot, str)}
+
+
+def hash_join(left: List[IdBinding], right: List[IdBinding]) -> List[IdBinding]:
+    """Hash join of two id-binding lists on their shared variables."""
+    if not left or not right:
+        return []
+    shared = sorted(set(left[0].keys() if left else ()) & set(right[0].keys() if right else ()))
+    # Variables are uniform across rows of one pattern/intermediate, so
+    # looking at the first row suffices.
+    if not shared:
+        return [dict(l, **r) for l in left for r in right]
+    index: Dict[Tuple[int, ...], List[IdBinding]] = {}
+    for row in right:
+        index.setdefault(tuple(row[var] for var in shared), []).append(row)
+    joined: List[IdBinding] = []
+    for row in left:
+        key = tuple(row[var] for var in shared)
+        for other in index.get(key, ()):
+            joined.append(dict(row, **other))
+    return joined
+
+
+# ------------------------------------------------------------ index nested loop
+def nested_loop_bgp(
+    patterns: Sequence[TriplePattern],
+    dictionary: Dictionary,
+    scan: ScanFunction,
+    estimate: EstimateFunction,
+) -> List[IdBinding]:
+    """Evaluate a BGP with selectivity-ordered index-nested-loop joins."""
+    encoded: List[Tuple[Slot, Slot, Slot]] = []
+    for pattern in patterns:
+        item = encode_pattern(pattern, dictionary)
+        if item is None:
+            return []
+        encoded.append(item)
+    if not encoded:
+        return [{}]
+
+    results: List[IdBinding] = [{}]
+    remaining = list(range(len(encoded)))
+    bound_vars: set = set()
+
+    def bound_estimate(index: int) -> int:
+        constants = []
+        for slot in encoded[index]:
+            if isinstance(slot, int):
+                constants.append(slot)
+            elif slot in bound_vars:
+                # A bound variable behaves like a constant but we do not know
+                # its value yet; assume high selectivity.
+                constants.append(-2)
+            else:
+                constants.append(None)
+        probe = tuple(None if c == -2 else c for c in constants)
+        base = estimate(*probe)
+        # Each bound variable divides the expected cardinality.
+        bound_count = sum(1 for c in constants if c == -2)
+        return max(1, base // (10 ** bound_count)) if bound_count else base
+
+    while remaining:
+        connected = [i for i in remaining if _pattern_vars(encoded[i]) & bound_vars]
+        pool = connected if (connected and bound_vars) else remaining
+        chosen = min(pool, key=bound_estimate)
+        remaining.remove(chosen)
+        pattern = encoded[chosen]
+        next_results: List[IdBinding] = []
+        for row in results:
+            constants = tuple(
+                slot if isinstance(slot, int) else row.get(slot)
+                for slot in pattern
+            )
+            for triple in scan(*constants):
+                binding = _pattern_binding(pattern, triple)
+                if binding is None:
+                    continue
+                conflict = any(var in row and row[var] != value for var, value in binding.items())
+                if conflict:
+                    continue
+                next_results.append(dict(row, **binding))
+        results = next_results
+        bound_vars |= _pattern_vars(pattern)
+        if not results:
+            return []
+    return results
+
+
+def decode_bindings(
+    bindings: Iterable[IdBinding], dictionary: Dictionary, predicate_vars: Iterable[str]
+) -> Iterator[Dict[str, object]]:
+    """Decode id bindings to RDF terms (predicate variables use predicate ids)."""
+    predicate_set = set(predicate_vars)
+    for binding in bindings:
+        yield {
+            var: (
+                dictionary.decode_predicate(value)
+                if var in predicate_set
+                else dictionary.decode_node(value)
+            )
+            for var, value in binding.items()
+        }
+
+
+def predicate_variables_of(patterns: Sequence[TriplePattern]) -> List[str]:
+    """Names of variables appearing in predicate position."""
+    names = []
+    for pattern in patterns:
+        if isinstance(pattern.predicate, Variable):
+            names.append(str(pattern.predicate))
+    return names

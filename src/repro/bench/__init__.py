@@ -1,0 +1,27 @@
+"""Benchmark harness: engine timing helpers and the paper's experiments.
+
+:mod:`repro.bench.harness` provides the measurement protocol (repeat, drop
+best/worst, average; strip solution modifiers) and plain-text table
+formatting; :mod:`repro.bench.experiments` contains one function per table /
+figure of the paper's evaluation section, each returning a
+:class:`~repro.bench.harness.ResultTable` that the ``benchmarks/`` scripts
+print and assert on.
+"""
+
+from repro.bench.harness import (
+    QueryTiming,
+    ResultTable,
+    make_engines,
+    run_query,
+    compare_engines,
+)
+from repro.bench import experiments
+
+__all__ = [
+    "QueryTiming",
+    "ResultTable",
+    "make_engines",
+    "run_query",
+    "compare_engines",
+    "experiments",
+]

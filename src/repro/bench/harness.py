@@ -1,0 +1,143 @@
+"""Measurement protocol and result-table formatting.
+
+The paper's protocol (Section 7.1) is followed as closely as a pure-Python
+environment allows:
+
+* solution modifiers (DISTINCT / ORDER BY / LIMIT) are stripped before timing
+  so only pattern-matching work is measured,
+* every query runs ``repeats`` times; the best and worst run are dropped and
+  the remaining runs averaged,
+* dictionary decode time is included (unavoidable in this architecture) but
+  identical across engines, so ratios are unaffected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.baselines import BitmapEngine, RDF3XEngine, TripleBitEngine
+from repro.datasets.base import Dataset
+from repro.engine.base import Engine
+from repro.engine.turbo_engine import TurboHomEngine, TurboHomPPEngine
+from repro.exceptions import EngineError
+from repro.sparql.parser import parse_sparql
+from repro.utils.timer import timed
+
+
+@dataclass
+class QueryTiming:
+    """One (engine, query) measurement."""
+
+    engine: str
+    query_id: str
+    solutions: Optional[int]
+    elapsed_ms: Optional[float]
+    note: str = ""
+
+    @property
+    def supported(self) -> bool:
+        """False when the engine refused the query (e.g. OPTIONAL)."""
+        return self.elapsed_ms is not None
+
+
+@dataclass
+class ResultTable:
+    """A printable table of benchmark results."""
+
+    title: str
+    columns: List[str]
+    rows: List[List[object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *values: object) -> None:
+        """Append a row (must match the column count)."""
+        if len(values) != len(self.columns):
+            raise ValueError(f"expected {len(self.columns)} values, got {len(values)}")
+        self.rows.append(list(values))
+
+    def column(self, name: str) -> List[object]:
+        """All values of a named column."""
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def to_text(self) -> str:
+        """Render as an aligned plain-text table."""
+        rendered_rows = [[_fmt(value) for value in row] for row in self.rows]
+        widths = [
+            max(len(self.columns[i]), *(len(row[i]) for row in rendered_rows)) if rendered_rows
+            else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        lines = [self.title, "-" * len(self.title)]
+        lines.append("  ".join(name.ljust(widths[i]) for i, name in enumerate(self.columns)))
+        for row in rendered_rows:
+            lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(self.columns))))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetics
+        return self.to_text()
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+# ----------------------------------------------------------------- measuring
+def run_query(engine: Engine, query_id: str, sparql: str, repeats: int = 3) -> QueryTiming:
+    """Time one query on one engine following the paper's protocol."""
+    try:
+        parsed = parse_sparql(sparql).strip_modifiers()
+        result, elapsed = timed(lambda: engine.query(parsed), repeats=repeats)
+        return QueryTiming(engine.name, query_id, len(result), elapsed)
+    except EngineError as error:
+        return QueryTiming(engine.name, query_id, None, None, note=str(error))
+
+
+def make_engines(include_turbohom: bool = False) -> List[Engine]:
+    """The paper's engine line-up (TurboHOM++ plus the three competitors)."""
+    engines: List[Engine] = [TurboHomPPEngine()]
+    if include_turbohom:
+        engines.append(TurboHomEngine())
+    engines.extend([RDF3XEngine(), TripleBitEngine(), BitmapEngine()])
+    return engines
+
+
+def compare_engines(
+    dataset: Dataset,
+    engines: Sequence[Engine],
+    query_ids: Optional[Sequence[str]] = None,
+    repeats: int = 3,
+) -> Dict[str, List[QueryTiming]]:
+    """Load the dataset into every engine and time every query.
+
+    Returns ``{query id: [timing per engine]}`` in engine order.
+    """
+    for engine in engines:
+        engine.load(dataset.store)
+    selected = list(query_ids) if query_ids is not None else dataset.query_ids()
+    timings: Dict[str, List[QueryTiming]] = {}
+    for query_id in selected:
+        sparql = dataset.queries[query_id]
+        timings[query_id] = [run_query(engine, query_id, sparql, repeats) for engine in engines]
+    return timings
+
+
+def timing_table(
+    title: str,
+    timings: Dict[str, List[QueryTiming]],
+    engines: Sequence[Engine],
+) -> ResultTable:
+    """Format engine-comparison timings as elapsed-time rows per query."""
+    table = ResultTable(title, ["query", "#solutions"] + [engine.name for engine in engines])
+    for query_id, per_engine in timings.items():
+        solutions = next((t.solutions for t in per_engine if t.solutions is not None), "?")
+        row: List[object] = [query_id, solutions]
+        for timing in per_engine:
+            row.append(round(timing.elapsed_ms, 2) if timing.supported else "n/a")
+        table.add_row(*row)
+    return table

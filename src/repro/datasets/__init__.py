@@ -1,0 +1,25 @@
+"""Benchmark datasets: generators, ontologies, and query sets.
+
+Each dataset module exposes a ``load_*`` function returning a
+:class:`Dataset` — a loaded (and inference-materialized) triple store plus
+the benchmark query set — so the benchmark harness and the examples can treat
+LUBM, BSBM, YAGO-like, and BTC-like data uniformly.
+"""
+
+from repro.datasets.base import Dataset
+from repro.datasets.lubm import load_lubm, LUBM_QUERIES
+from repro.datasets.bsbm import load_bsbm, BSBM_QUERIES
+from repro.datasets.yago import load_yago, YAGO_QUERIES
+from repro.datasets.btc import load_btc, BTC_QUERIES
+
+__all__ = [
+    "Dataset",
+    "load_lubm",
+    "LUBM_QUERIES",
+    "load_bsbm",
+    "BSBM_QUERIES",
+    "load_yago",
+    "YAGO_QUERIES",
+    "load_btc",
+    "BTC_QUERIES",
+]

@@ -1,0 +1,7 @@
+"""BSBM (Berlin SPARQL Benchmark) — synthetic e-commerce data and explore queries."""
+
+from repro.datasets.bsbm.generator import BSBMGenerator, BSBMProfile, BSBM
+from repro.datasets.bsbm.queries import BSBM_QUERIES
+from repro.datasets.bsbm.loader import load_bsbm
+
+__all__ = ["BSBMGenerator", "BSBMProfile", "BSBM", "BSBM_QUERIES", "load_bsbm"]

@@ -1,0 +1,197 @@
+"""BSBM-style e-commerce data generator.
+
+The Berlin SPARQL Benchmark models an e-commerce scenario: products with
+types, features, and numeric/textual properties, offered by vendors and
+reviewed by people.  The official Java generator is not available offline, so
+this module produces a synthetic dataset with the same schema shape and the
+relationships the explore use-case queries navigate (product → producer /
+features / offers / reviews), scaled by a product count.
+
+The generator is deterministic for a given ``(products, seed)`` pair, and the
+entities referenced by the benchmark queries (Product1, Offer1, Review1,
+ProductFeature1, ProductType1, ...) always exist.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.rdf.namespaces import Namespace, RDF, RDFS, XSD
+from repro.rdf.terms import IRI, Literal, Triple
+
+#: BSBM vocabulary namespace.
+BSBM = Namespace("http://www4.wiwiss.fu-berlin.de/bizer/bsbm/v01/vocabulary/")
+#: BSBM instance namespace.
+BSBM_INST = Namespace("http://www4.wiwiss.fu-berlin.de/bizer/bsbm/v01/instances/")
+
+_WORDS = [
+    "alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf", "hotel",
+    "india", "juliet", "kilo", "lima", "mike", "november", "oscar", "papa",
+]
+
+_COUNTRIES = ["US", "DE", "GB", "JP", "KR", "FR"]
+
+
+@dataclass(frozen=True)
+class BSBMProfile:
+    """Population ratios (scaled-down BSBM defaults)."""
+
+    product_types: int = 6
+    product_features: int = 20
+    producers: int = 5
+    vendors: int = 5
+    reviewers: int = 20
+    features_per_product: int = 4
+    offers_per_product: int = 3
+    reviews_per_product: int = 2
+
+
+class BSBMGenerator:
+    """Deterministic BSBM-style triple generator."""
+
+    def __init__(self, products: int = 200, seed: int = 7, profile: BSBMProfile = BSBMProfile()):
+        self.products = max(1, products)
+        self.seed = seed
+        self.profile = profile
+
+    # ----------------------------------------------------------------- naming
+    @staticmethod
+    def product(index: int) -> IRI:
+        """IRI of a product."""
+        return BSBM_INST[f"Product{index}"]
+
+    @staticmethod
+    def product_type(index: int) -> IRI:
+        """IRI of a product type."""
+        return BSBM_INST[f"ProductType{index}"]
+
+    @staticmethod
+    def product_feature(index: int) -> IRI:
+        """IRI of a product feature."""
+        return BSBM_INST[f"ProductFeature{index}"]
+
+    @staticmethod
+    def producer(index: int) -> IRI:
+        """IRI of a producer."""
+        return BSBM_INST[f"Producer{index}"]
+
+    @staticmethod
+    def vendor(index: int) -> IRI:
+        """IRI of a vendor."""
+        return BSBM_INST[f"Vendor{index}"]
+
+    @staticmethod
+    def offer(index: int) -> IRI:
+        """IRI of an offer."""
+        return BSBM_INST[f"Offer{index}"]
+
+    @staticmethod
+    def review(index: int) -> IRI:
+        """IRI of a review."""
+        return BSBM_INST[f"Review{index}"]
+
+    @staticmethod
+    def reviewer(index: int) -> IRI:
+        """IRI of a reviewer."""
+        return BSBM_INST[f"Reviewer{index}"]
+
+    # --------------------------------------------------------------- generate
+    def generate(self) -> List[Triple]:
+        """Generate the dataset as a list of triples."""
+        return list(self.triples())
+
+    def triples(self) -> Iterator[Triple]:
+        """Generate the dataset triples."""
+        rng = random.Random(self.seed)
+        profile = self.profile
+
+        # Product type hierarchy: a flat set of subtypes under a root type.
+        root_type = self.product_type(0)
+        yield Triple(root_type, RDF.type, BSBM.ProductType)
+        yield Triple(root_type, RDFS.label, Literal("ProductType0"))
+        for index in range(1, profile.product_types):
+            subtype = self.product_type(index)
+            yield Triple(subtype, RDF.type, BSBM.ProductType)
+            yield Triple(subtype, RDFS.label, Literal(f"ProductType{index}"))
+            yield Triple(subtype, RDFS.subClassOf, root_type)
+
+        for index in range(profile.product_features):
+            feature = self.product_feature(index)
+            yield Triple(feature, RDF.type, BSBM.ProductFeature)
+            yield Triple(feature, RDFS.label, Literal(f"ProductFeature{index}"))
+
+        for index in range(profile.producers):
+            producer = self.producer(index)
+            yield Triple(producer, RDF.type, BSBM.Producer)
+            yield Triple(producer, RDFS.label, Literal(f"Producer{index}"))
+            yield Triple(producer, BSBM.country, Literal(rng.choice(_COUNTRIES)))
+
+        for index in range(profile.vendors):
+            vendor = self.vendor(index)
+            yield Triple(vendor, RDF.type, BSBM.Vendor)
+            yield Triple(vendor, RDFS.label, Literal(f"Vendor{index}"))
+            yield Triple(vendor, BSBM.country, Literal(rng.choice(_COUNTRIES)))
+
+        for index in range(profile.reviewers):
+            reviewer = self.reviewer(index)
+            yield Triple(reviewer, RDF.type, BSBM.Person)
+            yield Triple(reviewer, BSBM.name, Literal(f"Reviewer{index}"))
+            yield Triple(reviewer, BSBM.country, Literal(rng.choice(_COUNTRIES)))
+
+        offer_counter = 0
+        review_counter = 0
+        for index in range(1, self.products + 1):
+            product = self.product(index)
+            product_type = self.product_type(1 + (index % (profile.product_types - 1)))
+            label_words = rng.sample(_WORDS, 3)
+            yield Triple(product, RDF.type, BSBM.Product)
+            yield Triple(product, RDF.type, product_type)
+            yield Triple(product, RDFS.label, Literal(" ".join(label_words)))
+            yield Triple(product, BSBM.producer, self.producer(index % profile.producers))
+            yield Triple(
+                product, BSBM.productPropertyNumeric1, Literal(str(rng.randint(1, 2000)), XSD.integer)
+            )
+            yield Triple(
+                product, BSBM.productPropertyNumeric2, Literal(str(rng.randint(1, 2000)), XSD.integer)
+            )
+            yield Triple(
+                product, BSBM.productPropertyNumeric3, Literal(str(rng.randint(1, 2000)), XSD.integer)
+            )
+            yield Triple(
+                product, BSBM.productPropertyTextual1, Literal(" ".join(rng.sample(_WORDS, 4)))
+            )
+            for feature_index in rng.sample(
+                range(profile.product_features), profile.features_per_product
+            ):
+                yield Triple(product, BSBM.productFeature, self.product_feature(feature_index))
+
+            for _ in range(profile.offers_per_product):
+                offer_counter += 1
+                offer = self.offer(offer_counter)
+                yield Triple(offer, RDF.type, BSBM.Offer)
+                yield Triple(offer, BSBM.product, product)
+                yield Triple(offer, BSBM.vendor, self.vendor(offer_counter % profile.vendors))
+                yield Triple(
+                    offer, BSBM.price, Literal(f"{rng.uniform(10, 10000):.2f}", XSD.double)
+                )
+                yield Triple(
+                    offer, BSBM.deliveryDays, Literal(str(rng.randint(1, 14)), XSD.integer)
+                )
+                yield Triple(offer, BSBM.validTo, Literal(f"2026-{rng.randint(1, 12):02d}-01"))
+
+            for _ in range(profile.reviews_per_product):
+                review_counter += 1
+                review = self.review(review_counter)
+                yield Triple(review, RDF.type, BSBM.Review)
+                yield Triple(review, BSBM.reviewFor, product)
+                yield Triple(review, BSBM.reviewer, self.reviewer(review_counter % profile.reviewers))
+                yield Triple(review, BSBM.title, Literal(" ".join(rng.sample(_WORDS, 2))))
+                language = rng.choice(["en", "de", "fr"])
+                yield Triple(
+                    review, BSBM.text, Literal(" ".join(rng.sample(_WORDS, 6)), None, language)
+                )
+                yield Triple(review, BSBM.rating1, Literal(str(rng.randint(1, 10)), XSD.integer))
+                yield Triple(review, BSBM.rating2, Literal(str(rng.randint(1, 10)), XSD.integer))
+                yield Triple(review, BSBM.reviewDate, Literal(f"2025-{rng.randint(1, 12):02d}-15"))

@@ -1,0 +1,32 @@
+"""BSBM dataset loader."""
+
+from __future__ import annotations
+
+from repro.datasets.base import Dataset, build_dataset
+from repro.datasets.bsbm.generator import BSBMGenerator, BSBMProfile
+from repro.datasets.bsbm.queries import BSBM_QUERIES
+from repro.rdf.inference import Ontology
+
+
+def load_bsbm(
+    products: int = 200,
+    seed: int = 7,
+    profile: BSBMProfile = BSBMProfile(),
+    apply_inference: bool = True,
+) -> Dataset:
+    """Generate a BSBM-style dataset.
+
+    ``products`` scales the dataset (the official benchmark scales by product
+    count as well).  The schema triples embedded in the data (the product
+    type hierarchy) drive the RDFS materialization.
+    """
+    generator = BSBMGenerator(products=products, seed=seed, profile=profile)
+    triples = generator.generate()
+    ontology = Ontology.from_triples(triples)
+    return build_dataset(
+        name=f"BSBM({products})",
+        triples=triples,
+        queries=dict(BSBM_QUERIES),
+        ontology=ontology,
+        apply_inference=apply_inference,
+    )

@@ -1,0 +1,148 @@
+"""The 12 BSBM explore use-case queries (adapted).
+
+The queries exercise the general SPARQL features Section 5.1 adds to
+TurboHOM++ — OPTIONAL, FILTER (cheap and expensive), UNION, REGEX,
+langMatches — against the synthetic e-commerce dataset.  Solution modifiers
+(ORDER BY / LIMIT / DISTINCT) are kept in the text but stripped by the
+benchmark harness, mirroring the paper's measurement protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+_PREFIXES = """\
+PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+PREFIX bsbm: <http://www4.wiwiss.fu-berlin.de/bizer/bsbm/v01/vocabulary/>
+PREFIX inst: <http://www4.wiwiss.fu-berlin.de/bizer/bsbm/v01/instances/>
+"""
+
+BSBM_QUERIES: Dict[str, str] = {
+    # Q1: products of a type carrying a feature, above a numeric threshold.
+    "Q1": _PREFIXES + """
+SELECT DISTINCT ?product ?label WHERE {
+  ?product rdf:type inst:ProductType1 .
+  ?product rdfs:label ?label .
+  ?product bsbm:productFeature inst:ProductFeature1 .
+  ?product bsbm:productPropertyNumeric1 ?value1 .
+  FILTER (?value1 > 500)
+}""",
+    # Q2: basic properties of a specific product.
+    "Q2": _PREFIXES + """
+SELECT ?label ?producer ?propertyTextual1 ?propertyNumeric1 ?feature WHERE {
+  inst:Product1 rdfs:label ?label .
+  inst:Product1 bsbm:producer ?producerInst .
+  ?producerInst rdfs:label ?producer .
+  inst:Product1 bsbm:productPropertyTextual1 ?propertyTextual1 .
+  inst:Product1 bsbm:productPropertyNumeric1 ?propertyNumeric1 .
+  inst:Product1 bsbm:productFeature ?featureInst .
+  ?featureInst rdfs:label ?feature .
+}""",
+    # Q3: products with one feature but (via negation-as-unbound) not another.
+    "Q3": _PREFIXES + """
+SELECT ?product ?label WHERE {
+  ?product rdf:type bsbm:Product .
+  ?product rdfs:label ?label .
+  ?product bsbm:productFeature inst:ProductFeature1 .
+  ?product bsbm:productPropertyNumeric1 ?p1 .
+  FILTER (?p1 > 100)
+  OPTIONAL {
+    ?product bsbm:productFeature inst:ProductFeature2 .
+    ?product rdfs:label ?testLabel .
+  }
+  FILTER (!BOUND(?testLabel))
+}""",
+    # Q4: UNION of two feature alternatives.
+    "Q4": _PREFIXES + """
+SELECT DISTINCT ?product ?label WHERE {
+  {
+    ?product rdf:type bsbm:Product .
+    ?product rdfs:label ?label .
+    ?product bsbm:productFeature inst:ProductFeature1 .
+    ?product bsbm:productPropertyNumeric1 ?p1 .
+    FILTER (?p1 > 50)
+  } UNION {
+    ?product rdf:type bsbm:Product .
+    ?product rdfs:label ?label .
+    ?product bsbm:productFeature inst:ProductFeature3 .
+    ?product bsbm:productPropertyNumeric2 ?p2 .
+    FILTER (?p2 > 50)
+  }
+}""",
+    # Q5: products "similar to" Product1 (expensive join FILTER).
+    "Q5": _PREFIXES + """
+SELECT DISTINCT ?product WHERE {
+  ?product rdf:type bsbm:Product .
+  inst:Product1 bsbm:productPropertyNumeric1 ?origValue1 .
+  ?product bsbm:productPropertyNumeric1 ?value1 .
+  inst:Product1 bsbm:productPropertyNumeric2 ?origValue2 .
+  ?product bsbm:productPropertyNumeric2 ?value2 .
+  FILTER (?value1 < (?origValue1 + 300) && ?value1 > (?origValue1 - 300))
+  FILTER (?value2 < (?origValue2 + 300) && ?value2 > (?origValue2 - 300))
+}""",
+    # Q6: regular-expression search on product labels (expensive filter).
+    "Q6": _PREFIXES + """
+SELECT ?product ?label WHERE {
+  ?product rdf:type bsbm:Product .
+  ?product rdfs:label ?label .
+  FILTER (REGEX(?label, "alpha"))
+}""",
+    # Q7: product with optional offers and optional reviews.
+    "Q7": _PREFIXES + """
+SELECT ?productLabel ?offer ?price ?vendorName ?review ?rating WHERE {
+  inst:Product1 rdfs:label ?productLabel .
+  OPTIONAL {
+    ?offer bsbm:product inst:Product1 .
+    ?offer bsbm:price ?price .
+    ?offer bsbm:vendor ?vendor .
+    ?vendor rdfs:label ?vendorName .
+  }
+  OPTIONAL {
+    ?review bsbm:reviewFor inst:Product1 .
+    OPTIONAL { ?review bsbm:rating1 ?rating . }
+  }
+}""",
+    # Q8: English-language reviews for a product.
+    "Q8": _PREFIXES + """
+SELECT ?title ?text ?reviewer WHERE {
+  ?review bsbm:reviewFor inst:Product1 .
+  ?review bsbm:title ?title .
+  ?review bsbm:text ?text .
+  ?review bsbm:reviewer ?reviewerInst .
+  ?reviewerInst bsbm:name ?reviewer .
+  FILTER (LANGMATCHES(LANG(?text), "en"))
+}""",
+    # Q9: everything known about a review (variable predicate).
+    "Q9": _PREFIXES + """
+SELECT ?property ?value WHERE {
+  inst:Review1 ?property ?value .
+}""",
+    # Q10: offers for a product deliverable quickly and cheaply.
+    "Q10": _PREFIXES + """
+SELECT DISTINCT ?offer ?price WHERE {
+  ?offer bsbm:product inst:Product1 .
+  ?offer bsbm:vendor ?vendor .
+  ?offer bsbm:deliveryDays ?deliveryDays .
+  ?offer bsbm:price ?price .
+  FILTER (?deliveryDays <= 7)
+}""",
+    # Q11: everything about an offer, in both directions.
+    "Q11": _PREFIXES + """
+SELECT ?property ?hasValue ?isValueOf WHERE {
+  { inst:Offer1 ?property ?hasValue . }
+  UNION
+  { ?isValueOf ?property inst:Offer1 . }
+}""",
+    # Q12: offer export (constant offer joined with its product and vendor).
+    "Q12": _PREFIXES + """
+SELECT ?productLabel ?vendorName ?vendorCountry ?price ?validTo WHERE {
+  inst:Offer1 bsbm:product ?product .
+  ?product rdfs:label ?productLabel .
+  inst:Offer1 bsbm:vendor ?vendor .
+  ?vendor rdfs:label ?vendorName .
+  ?vendor bsbm:country ?vendorCountry .
+  inst:Offer1 bsbm:price ?price .
+  inst:Offer1 bsbm:validTo ?validTo .
+}""",
+}

@@ -1,0 +1,156 @@
+"""BTC-like dataset: heterogeneous multi-source web data plus eight queries.
+
+The Billion Triples Challenge 2012 corpus is a crawl of many RDF sources
+(FOAF profiles, DBpedia-style facts, geo data, publication metadata) and is
+not redistributable here.  This module generates a synthetic stand-in that
+preserves the properties the paper's observations rely on (Section 7.2,
+Table 5):
+
+* heterogeneous vocabularies — several "sources" each with its own namespace
+  and schema, plus entities that carry types from more than one source,
+* irregular structure — unlike LUBM, attribute presence is probabilistic, so
+  neighbourhoods differ from entity to entity,
+* tree-shaped benchmark queries, several of which pin a concrete entity
+  (like the original BTC query set used by TripleBit), so most queries are
+  cheap even though the dataset is comparatively large.
+
+The data is *not* run through the RDFS inferencer — the paper likewise loads
+only original triples for BTC2012 because the crawl violates the RDF
+standard in places.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterator, List
+
+from repro.datasets.base import Dataset, build_dataset
+from repro.rdf.namespaces import Namespace, RDF
+from repro.rdf.terms import IRI, Literal, Triple
+
+FOAF = Namespace("http://xmlns.com/foaf/0.1/")
+DBO = Namespace("http://dbpedia.org/ontology/")
+GEO = Namespace("http://www.geonames.org/ontology#")
+SWRC = Namespace("http://swrc.ontoware.org/ontology#")
+DC = Namespace("http://purl.org/dc/elements/1.1/")
+BTC = Namespace("http://btc.example.org/resource/")
+
+_PREFIXES = """\
+PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+PREFIX dbo: <http://dbpedia.org/ontology/>
+PREFIX geo: <http://www.geonames.org/ontology#>
+PREFIX swrc: <http://swrc.ontoware.org/ontology#>
+PREFIX dc: <http://purl.org/dc/elements/1.1/>
+PREFIX btc: <http://btc.example.org/resource/>
+"""
+
+
+def generate_btc(entities: int = 600, seed: int = 23) -> List[Triple]:
+    """Generate the heterogeneous BTC-like triple set."""
+    rng = random.Random(seed)
+    triples: List[Triple] = []
+
+    places = [BTC[f"Place{i}"] for i in range(max(5, entities // 20))]
+    for place in places:
+        triples.append(Triple(place, RDF.type, GEO.Feature))
+        triples.append(Triple(place, GEO.name, Literal(str(place).rsplit("/", 1)[-1])))
+        if rng.random() < 0.7:
+            triples.append(Triple(place, GEO.parentFeature, rng.choice(places)))
+
+    documents = [BTC[f"Document{i}"] for i in range(max(10, entities // 4))]
+    people = [BTC[f"Agent{i}"] for i in range(entities)]
+
+    for index, person in enumerate(people):
+        # FOAF profile data (always present).
+        triples.append(Triple(person, RDF.type, FOAF.Person))
+        triples.append(Triple(person, FOAF.name, Literal(f"Agent {index}")))
+        if rng.random() < 0.6:
+            triples.append(Triple(person, FOAF.mbox, Literal(f"agent{index}@example.org")))
+        for _ in range(rng.randint(0, 3)):
+            triples.append(Triple(person, FOAF.knows, rng.choice(people)))
+        # DBpedia-style facts (sometimes present; heterogeneous typing).
+        if rng.random() < 0.3:
+            triples.append(Triple(person, RDF.type, DBO.Person))
+            triples.append(Triple(person, DBO.birthPlace, rng.choice(places)))
+        if rng.random() < 0.1:
+            triples.append(Triple(person, RDF.type, DBO.MusicalArtist))
+            triples.append(Triple(person, DBO.genre, BTC[f"Genre{rng.randint(0, 5)}"]))
+        # Publication metadata.
+        if rng.random() < 0.25:
+            document = rng.choice(documents)
+            triples.append(Triple(document, RDF.type, SWRC.InProceedings))
+            triples.append(Triple(document, DC.creator, person))
+            triples.append(Triple(document, DC.title, Literal(f"Title {index}")))
+            if rng.random() < 0.5:
+                triples.append(Triple(document, SWRC.year, Literal(str(2000 + index % 20))))
+    return triples
+
+
+BTC_QUERIES: Dict[str, str] = {
+    # Q1: profile of a fixed agent (constant subject, tree shaped).
+    "Q1": _PREFIXES + """
+SELECT ?name ?mbox WHERE {
+  btc:Agent0 foaf:name ?name .
+  btc:Agent0 foaf:mbox ?mbox .
+}""",
+    # Q2: who a fixed agent knows, with their names.
+    "Q2": _PREFIXES + """
+SELECT ?friend ?name WHERE {
+  btc:Agent0 foaf:knows ?friend .
+  ?friend foaf:name ?name .
+}""",
+    # Q3: documents written by a fixed agent.
+    "Q3": _PREFIXES + """
+SELECT ?doc ?title WHERE {
+  ?doc dc:creator btc:Agent1 .
+  ?doc dc:title ?title .
+}""",
+    # Q4: musical artists and their genre (multi-vocabulary typing).
+    "Q4": _PREFIXES + """
+SELECT ?artist ?genre WHERE {
+  ?artist rdf:type dbo:MusicalArtist .
+  ?artist dbo:genre ?genre .
+  ?artist foaf:name ?name .
+}""",
+    # Q5: birth places of agents known by a fixed agent.
+    "Q5": _PREFIXES + """
+SELECT ?friend ?place WHERE {
+  btc:Agent2 foaf:knows ?friend .
+  ?friend dbo:birthPlace ?place .
+}""",
+    # Q6: publications with titles and years by people with an mbox.
+    "Q6": _PREFIXES + """
+SELECT ?doc ?person ?year WHERE {
+  ?doc rdf:type swrc:InProceedings .
+  ?doc dc:creator ?person .
+  ?doc swrc:year ?year .
+  ?person foaf:mbox ?mbox .
+}""",
+    # Q7: people typed in both FOAF and DBpedia vocabularies, with birth place name.
+    "Q7": _PREFIXES + """
+SELECT ?person ?placeName WHERE {
+  ?person rdf:type foaf:Person .
+  ?person rdf:type dbo:Person .
+  ?person dbo:birthPlace ?place .
+  ?place geo:name ?placeName .
+}""",
+    # Q8: friend-of-friend names around authors of documents.
+    "Q8": _PREFIXES + """
+SELECT ?person ?friend ?name WHERE {
+  ?doc dc:creator ?person .
+  ?person foaf:knows ?friend .
+  ?friend foaf:name ?name .
+}""",
+}
+
+
+def load_btc(entities: int = 600, seed: int = 23) -> Dataset:
+    """Generate the BTC-like dataset (original triples only, no inference)."""
+    return build_dataset(
+        name=f"BTC-like({entities})",
+        triples=generate_btc(entities=entities, seed=seed),
+        queries=dict(BTC_QUERIES),
+        ontology=None,
+        apply_inference=False,
+    )

@@ -1,0 +1,15 @@
+"""LUBM (Lehigh University Benchmark) — synthetic generator and queries."""
+
+from repro.datasets.lubm.ontology import UB, build_ontology
+from repro.datasets.lubm.generator import LUBMGenerator, LUBMProfile
+from repro.datasets.lubm.queries import LUBM_QUERIES
+from repro.datasets.lubm.loader import load_lubm
+
+__all__ = [
+    "UB",
+    "build_ontology",
+    "LUBMGenerator",
+    "LUBMProfile",
+    "LUBM_QUERIES",
+    "load_lubm",
+]

@@ -1,0 +1,248 @@
+"""LUBM data generator.
+
+Generates the university / department / faculty / student / course /
+publication population of the Lehigh University Benchmark, scaled down for a
+pure-Python environment while preserving the structural properties the
+benchmark queries depend on:
+
+* a scaling knob (number of universities) under which the *constant solution*
+  queries (Q1, Q3–Q5, Q7, Q8, Q10–Q12) keep a fixed answer size while the
+  *increasing solution* queries (Q2, Q6, Q9, Q13, Q14) grow linearly,
+* graduate students with ``undergraduateDegreeFrom`` edges, a fraction of
+  which point to their own university (so Q2's triangle has solutions),
+* students taking courses taught by their advisor with a fixed probability
+  (so Q9's triangle has solutions),
+* department heads asserted as ``Chair`` and research groups attached to both
+  their department and university (materializing the OWL-level inferences the
+  original benchmark relies on for Q11/Q12).
+
+The generator is deterministic for a given ``(universities, seed)`` pair.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List
+
+from repro.datasets.lubm.ontology import UB
+from repro.rdf.namespaces import RDF
+from repro.rdf.terms import IRI, Literal, Triple
+
+
+@dataclass(frozen=True)
+class LUBMProfile:
+    """Per-department population sizes (scaled-down LUBM defaults)."""
+
+    departments_per_university: int = 3
+    full_professors: int = 2
+    associate_professors: int = 3
+    assistant_professors: int = 3
+    lecturers: int = 2
+    undergraduate_students: int = 30
+    graduate_students: int = 10
+    research_groups: int = 2
+    courses_per_faculty: int = 1
+    graduate_courses_per_faculty: int = 1
+    undergrad_courses_taken: int = 2
+    graduate_courses_taken: int = 2
+    publications_per_faculty: int = 3
+    #: Probability that a graduate student's undergraduate degree is from the
+    #: university they currently attend (drives Q2's selectivity).
+    own_university_degree_probability: float = 0.2
+    #: Probability that a student takes a course taught by their advisor
+    #: (drives Q9's selectivity).
+    advisor_course_probability: float = 0.3
+
+
+class LUBMGenerator:
+    """Deterministic LUBM-style triple generator."""
+
+    def __init__(
+        self,
+        universities: int = 1,
+        seed: int = 42,
+        profile: LUBMProfile = LUBMProfile(),
+    ):
+        self.universities = max(1, universities)
+        self.seed = seed
+        self.profile = profile
+
+    # ----------------------------------------------------------------- naming
+    @staticmethod
+    def university_iri(university: int) -> IRI:
+        """IRI of a university."""
+        return IRI(f"http://www.University{university}.edu")
+
+    @staticmethod
+    def department_iri(university: int, department: int) -> IRI:
+        """IRI of a department."""
+        return IRI(f"http://www.Department{department}.University{university}.edu")
+
+    def _entity(self, university: int, department: int, local: str) -> IRI:
+        return IRI(f"{self.department_iri(university, department)}/{local}")
+
+    # --------------------------------------------------------------- generate
+    def triples(self) -> Iterator[Triple]:
+        """Generate the dataset triples."""
+        rng = random.Random(self.seed)
+        for university in range(self.universities):
+            yield from self._university(university, rng)
+
+    def generate(self) -> List[Triple]:
+        """Generate the dataset as a list."""
+        return list(self.triples())
+
+    # -------------------------------------------------------------- internals
+    def _university(self, university: int, rng: random.Random) -> Iterator[Triple]:
+        profile = self.profile
+        univ = self.university_iri(university)
+        yield Triple(univ, RDF.type, UB.University)
+        yield Triple(univ, UB.name, Literal(f"University{university}"))
+        for department in range(profile.departments_per_university):
+            yield from self._department(university, department, rng)
+
+    def _department(
+        self, university: int, department: int, rng: random.Random
+    ) -> Iterator[Triple]:
+        profile = self.profile
+        univ = self.university_iri(university)
+        dept = self.department_iri(university, department)
+        yield Triple(dept, RDF.type, UB.Department)
+        yield Triple(dept, UB.name, Literal(f"Department{department}"))
+        yield Triple(dept, UB.subOrganizationOf, univ)
+
+        # Research groups belong to the department; the original benchmark
+        # reaches the university through transitive subOrganizationOf, which
+        # we materialize directly.
+        for group_index in range(profile.research_groups):
+            group = self._entity(university, department, f"ResearchGroup{group_index}")
+            yield Triple(group, RDF.type, UB.ResearchGroup)
+            yield Triple(group, UB.subOrganizationOf, dept)
+            yield Triple(group, UB.subOrganizationOf, univ)
+
+        # Faculty --------------------------------------------------------
+        faculty: List[IRI] = []
+        faculty_specs = [
+            ("FullProfessor", UB.FullProfessor, profile.full_professors),
+            ("AssociateProfessor", UB.AssociateProfessor, profile.associate_professors),
+            ("AssistantProfessor", UB.AssistantProfessor, profile.assistant_professors),
+            ("Lecturer", UB.Lecturer, profile.lecturers),
+        ]
+        for prefix, cls, count in faculty_specs:
+            for index in range(count):
+                person = self._entity(university, department, f"{prefix}{index}")
+                faculty.append(person)
+                yield Triple(person, RDF.type, cls)
+                yield from self._person_details(person, f"{prefix}{index}", university, department)
+                yield Triple(person, UB.worksFor, dept)
+                yield from self._faculty_degrees(person, university, rng)
+
+        # The first full professor heads the department (Chair is the
+        # materialized OWL inference "headOf some Department").
+        head = self._entity(university, department, "FullProfessor0")
+        yield Triple(head, UB.headOf, dept)
+        yield Triple(head, RDF.type, UB.Chair)
+
+        # Courses ----------------------------------------------------------
+        courses: List[IRI] = []
+        graduate_courses: List[IRI] = []
+        course_teacher: Dict[IRI, IRI] = {}
+        course_counter = 0
+        graduate_counter = 0
+        for person in faculty:
+            for _ in range(profile.courses_per_faculty):
+                course = self._entity(university, department, f"Course{course_counter}")
+                course_counter += 1
+                courses.append(course)
+                course_teacher[course] = person
+                yield Triple(course, RDF.type, UB.Course)
+                yield Triple(course, UB.name, Literal(f"Course{course_counter}"))
+                yield Triple(person, UB.teacherOf, course)
+            for _ in range(profile.graduate_courses_per_faculty):
+                course = self._entity(
+                    university, department, f"GraduateCourse{graduate_counter}"
+                )
+                graduate_counter += 1
+                graduate_courses.append(course)
+                course_teacher[course] = person
+                yield Triple(course, RDF.type, UB.GraduateCourse)
+                yield Triple(course, UB.name, Literal(f"GraduateCourse{graduate_counter}"))
+                yield Triple(person, UB.teacherOf, course)
+
+        # Publications -----------------------------------------------------
+        for author_index, person in enumerate(faculty):
+            for pub_index in range(profile.publications_per_faculty):
+                publication = self._entity(
+                    university, department, f"Publication{author_index}_{pub_index}"
+                )
+                yield Triple(publication, RDF.type, UB.Publication)
+                yield Triple(publication, UB.name, Literal(f"Publication{author_index}_{pub_index}"))
+                yield Triple(publication, UB.publicationAuthor, person)
+
+        professors = [p for p in faculty if "Professor" in str(p)]
+
+        # Undergraduate students --------------------------------------------
+        for index in range(profile.undergraduate_students):
+            student = self._entity(university, department, f"UndergraduateStudent{index}")
+            yield Triple(student, RDF.type, UB.UndergraduateStudent)
+            yield from self._person_details(student, f"UndergraduateStudent{index}", university, department)
+            yield Triple(student, UB.memberOf, dept)
+            advisor = rng.choice(professors)
+            yield Triple(student, UB.advisor, advisor)
+            taken = rng.sample(courses, min(profile.undergrad_courses_taken, len(courses)))
+            if rng.random() < profile.advisor_course_probability:
+                advisor_courses = [c for c, t in course_teacher.items() if t == advisor and c in courses]
+                if advisor_courses:
+                    taken = taken[:-1] + [rng.choice(advisor_courses)]
+            for course in set(taken):
+                yield Triple(student, UB.takesCourse, course)
+
+        # Graduate students --------------------------------------------------
+        for index in range(profile.graduate_students):
+            student = self._entity(university, department, f"GraduateStudent{index}")
+            yield Triple(student, RDF.type, UB.GraduateStudent)
+            yield from self._person_details(student, f"GraduateStudent{index}", university, department)
+            yield Triple(student, UB.memberOf, dept)
+            advisor = rng.choice(professors)
+            yield Triple(student, UB.advisor, advisor)
+            if rng.random() < self.profile.own_university_degree_probability:
+                degree_university = self.university_iri(university)
+            else:
+                degree_university = self.university_iri(rng.randrange(self.universities))
+            yield Triple(student, UB.undergraduateDegreeFrom, degree_university)
+            taken = rng.sample(
+                graduate_courses, min(profile.graduate_courses_taken, len(graduate_courses))
+            )
+            if rng.random() < profile.advisor_course_probability:
+                advisor_courses = [
+                    c for c, t in course_teacher.items() if t == advisor and c in graduate_courses
+                ]
+                if advisor_courses:
+                    taken = taken[:-1] + [rng.choice(advisor_courses)]
+            for course in set(taken):
+                yield Triple(student, UB.takesCourse, course)
+            # Some graduate students assist the course they take.
+            if rng.random() < 0.3 and taken:
+                yield Triple(student, RDF.type, UB.TeachingAssistant)
+                yield Triple(student, UB.teachingAssistantOf, taken[0])
+
+    def _person_details(
+        self, person: IRI, local_name: str, university: int, department: int
+    ) -> Iterator[Triple]:
+        """Name / email / telephone attributes every person carries."""
+        yield Triple(person, UB.name, Literal(local_name))
+        yield Triple(
+            person,
+            UB.emailAddress,
+            Literal(f"{local_name}@Department{department}.University{university}.edu"),
+        )
+        yield Triple(person, UB.telephone, Literal(f"xxx-xxx-{department:02d}{university:02d}"))
+
+    def _faculty_degrees(
+        self, person: IRI, university: int, rng: random.Random
+    ) -> Iterator[Triple]:
+        """Faculty hold an undergraduate, masters, and doctoral degree."""
+        for prop in (UB.undergraduateDegreeFrom, UB.mastersDegreeFrom, UB.doctoralDegreeFrom):
+            degree_university = self.university_iri(rng.randrange(self.universities))
+            yield Triple(person, prop, degree_university)

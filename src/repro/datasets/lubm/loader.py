@@ -1,0 +1,32 @@
+"""LUBM dataset loader: generate, infer, and package."""
+
+from __future__ import annotations
+
+from repro.datasets.base import Dataset, build_dataset
+from repro.datasets.lubm.generator import LUBMGenerator, LUBMProfile
+from repro.datasets.lubm.ontology import build_ontology
+from repro.datasets.lubm.queries import LUBM_QUERIES
+
+
+def load_lubm(
+    universities: int = 1,
+    seed: int = 42,
+    profile: LUBMProfile = LUBMProfile(),
+    apply_inference: bool = True,
+) -> Dataset:
+    """Generate a LUBM(universities) dataset with inferred triples.
+
+    ``universities`` plays the role of the paper's scale factor (LUBM80 /
+    LUBM800 / LUBM8000); the defaults produce a dataset small enough for
+    interactive use while preserving the constant- vs increasing-solution
+    query behaviour.
+    """
+    generator = LUBMGenerator(universities=universities, seed=seed, profile=profile)
+    ontology = build_ontology()
+    return build_dataset(
+        name=f"LUBM({universities})",
+        triples=generator.generate(),
+        queries=dict(LUBM_QUERIES),
+        ontology=ontology,
+        apply_inference=apply_inference,
+    )

@@ -1,0 +1,104 @@
+"""Univ-Bench ontology (the schema behind LUBM).
+
+The class and property hierarchies follow the univ-bench ontology closely;
+OWL constructs that RDFS cannot express are approximated the way LUBM users
+conventionally materialize them:
+
+* ``Student`` is an OWL restriction (a Person taking a course); we declare
+  ``UndergraduateStudent ⊑ Student`` and ``GraduateStudent ⊑ Student`` so that
+  queries 6, 7, 9, 10 return the expected populations,
+* ``Chair`` (a Person heading a Department) is asserted explicitly by the
+  generator for department heads,
+* ``hasAlumnus`` is the inverse of ``degreeFrom`` (query 13), with the three
+  specific degree properties declared as sub-properties of ``degreeFrom``.
+"""
+
+from __future__ import annotations
+
+from repro.rdf.inference import Ontology
+from repro.rdf.namespaces import Namespace
+
+#: The univ-bench namespace.
+UB = Namespace("http://swat.cse.lehigh.edu/onto/univ-bench.owl#")
+
+#: (child, parent) pairs of the class hierarchy.
+CLASS_HIERARCHY = [
+    ("Employee", "Person"),
+    ("Faculty", "Employee"),
+    ("Professor", "Faculty"),
+    ("FullProfessor", "Professor"),
+    ("AssociateProfessor", "Professor"),
+    ("AssistantProfessor", "Professor"),
+    ("VisitingProfessor", "Professor"),
+    ("Chair", "Professor"),
+    ("Dean", "Professor"),
+    ("Lecturer", "Faculty"),
+    ("PostDoc", "Faculty"),
+    ("Student", "Person"),
+    ("UndergraduateStudent", "Student"),
+    ("GraduateStudent", "Student"),
+    ("TeachingAssistant", "Person"),
+    ("ResearchAssistant", "Person"),
+    ("Organization", None),
+    ("University", "Organization"),
+    ("Department", "Organization"),
+    ("ResearchGroup", "Organization"),
+    ("Program", "Organization"),
+    ("Institute", "Organization"),
+    ("Work", None),
+    ("Course", "Work"),
+    ("GraduateCourse", "Course"),
+    ("Research", "Work"),
+    ("Publication", None),
+    ("Article", "Publication"),
+    ("Book", "Publication"),
+    ("JournalArticle", "Article"),
+    ("ConferencePaper", "Article"),
+    ("TechnicalReport", "Article"),
+    ("Person", None),
+]
+
+#: (child, parent) pairs of the property hierarchy.
+PROPERTY_HIERARCHY = [
+    ("undergraduateDegreeFrom", "degreeFrom"),
+    ("mastersDegreeFrom", "degreeFrom"),
+    ("doctoralDegreeFrom", "degreeFrom"),
+    ("worksFor", "memberOf"),
+    ("headOf", "worksFor"),
+]
+
+#: (property, domain class) pairs.
+PROPERTY_DOMAINS = [
+    ("teacherOf", "Faculty"),
+    ("advisor", "Person"),
+    ("takesCourse", "Person"),
+]
+
+#: (property, range class) pairs.
+PROPERTY_RANGES = [
+    ("degreeFrom", "University"),
+    ("teacherOf", "Course"),
+    ("memberOf", "Organization"),
+]
+
+#: (property, inverse property) pairs.
+PROPERTY_INVERSES = [
+    ("degreeFrom", "hasAlumnus"),
+]
+
+
+def build_ontology() -> Ontology:
+    """Build the univ-bench :class:`Ontology`."""
+    ontology = Ontology()
+    for child, parent in CLASS_HIERARCHY:
+        if parent is not None:
+            ontology.add_subclass(UB[child], UB[parent])
+    for child, parent in PROPERTY_HIERARCHY:
+        ontology.add_subproperty(UB[child], UB[parent])
+    for prop, domain in PROPERTY_DOMAINS:
+        ontology.add_domain(UB[prop], UB[domain])
+    for prop, range_class in PROPERTY_RANGES:
+        ontology.add_range(UB[prop], UB[range_class])
+    for prop, inverse in PROPERTY_INVERSES:
+        ontology.add_inverse(UB[prop], UB[inverse])
+    return ontology

@@ -1,0 +1,122 @@
+"""The 14 LUBM benchmark queries.
+
+The SPARQL text follows the official query set.  Queries whose original OWL
+semantics cannot be expressed in RDFS (Student, Chair) rely on the
+materialized types produced by the ontology/generator, exactly as the
+benchmark is conventionally run with an inference engine (Section 7.1).
+
+Entity constants (GraduateCourse0, AssistantProfessor0, Department0,
+University0, ...) refer to Department0 of University0, which the generator
+always produces regardless of the scale factor — this is what makes
+Q1/Q3–Q5/Q7/Q8/Q10–Q12 *constant solution* queries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+_PREFIXES = """\
+PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>
+"""
+
+_DEPT0 = "<http://www.Department0.University0.edu>"
+_UNIV0 = "<http://www.University0.edu>"
+_GRADUATE_COURSE0 = "<http://www.Department0.University0.edu/GraduateCourse0>"
+_ASSISTANT_PROFESSOR0 = "<http://www.Department0.University0.edu/AssistantProfessor0>"
+_ASSOCIATE_PROFESSOR0 = "<http://www.Department0.University0.edu/AssociateProfessor0>"
+
+LUBM_QUERIES: Dict[str, str] = {
+    "Q1": _PREFIXES + f"""
+SELECT ?x WHERE {{
+  ?x rdf:type ub:GraduateStudent .
+  ?x ub:takesCourse {_GRADUATE_COURSE0} .
+}}""",
+    "Q2": _PREFIXES + """
+SELECT ?x ?y ?z WHERE {
+  ?x rdf:type ub:GraduateStudent .
+  ?y rdf:type ub:University .
+  ?z rdf:type ub:Department .
+  ?x ub:memberOf ?z .
+  ?z ub:subOrganizationOf ?y .
+  ?x ub:undergraduateDegreeFrom ?y .
+}""",
+    "Q3": _PREFIXES + f"""
+SELECT ?x WHERE {{
+  ?x rdf:type ub:Publication .
+  ?x ub:publicationAuthor {_ASSISTANT_PROFESSOR0} .
+}}""",
+    "Q4": _PREFIXES + f"""
+SELECT ?x ?y1 ?y2 ?y3 WHERE {{
+  ?x rdf:type ub:Professor .
+  ?x ub:worksFor {_DEPT0} .
+  ?x ub:name ?y1 .
+  ?x ub:emailAddress ?y2 .
+  ?x ub:telephone ?y3 .
+}}""",
+    "Q5": _PREFIXES + f"""
+SELECT ?x WHERE {{
+  ?x rdf:type ub:Person .
+  ?x ub:memberOf {_DEPT0} .
+}}""",
+    "Q6": _PREFIXES + """
+SELECT ?x WHERE {
+  ?x rdf:type ub:Student .
+}""",
+    "Q7": _PREFIXES + f"""
+SELECT ?x ?y WHERE {{
+  ?x rdf:type ub:Student .
+  ?y rdf:type ub:Course .
+  ?x ub:takesCourse ?y .
+  {_ASSOCIATE_PROFESSOR0} ub:teacherOf ?y .
+}}""",
+    "Q8": _PREFIXES + f"""
+SELECT ?x ?y ?z WHERE {{
+  ?x rdf:type ub:Student .
+  ?y rdf:type ub:Department .
+  ?x ub:memberOf ?y .
+  ?y ub:subOrganizationOf {_UNIV0} .
+  ?x ub:emailAddress ?z .
+}}""",
+    "Q9": _PREFIXES + """
+SELECT ?x ?y ?z WHERE {
+  ?x rdf:type ub:Student .
+  ?y rdf:type ub:Faculty .
+  ?z rdf:type ub:Course .
+  ?x ub:advisor ?y .
+  ?y ub:teacherOf ?z .
+  ?x ub:takesCourse ?z .
+}""",
+    "Q10": _PREFIXES + f"""
+SELECT ?x WHERE {{
+  ?x rdf:type ub:Student .
+  ?x ub:takesCourse {_GRADUATE_COURSE0} .
+}}""",
+    "Q11": _PREFIXES + f"""
+SELECT ?x WHERE {{
+  ?x rdf:type ub:ResearchGroup .
+  ?x ub:subOrganizationOf {_UNIV0} .
+}}""",
+    "Q12": _PREFIXES + f"""
+SELECT ?x ?y WHERE {{
+  ?x rdf:type ub:Chair .
+  ?y rdf:type ub:Department .
+  ?x ub:worksFor ?y .
+  ?y ub:subOrganizationOf {_UNIV0} .
+}}""",
+    "Q13": _PREFIXES + f"""
+SELECT ?x WHERE {{
+  ?x rdf:type ub:Person .
+  {_UNIV0} ub:hasAlumnus ?x .
+}}""",
+    "Q14": _PREFIXES + """
+SELECT ?x WHERE {
+  ?x rdf:type ub:UndergraduateStudent .
+}""",
+}
+
+#: Queries whose answer size does not depend on the scale factor (Section 7.2).
+CONSTANT_SOLUTION_QUERIES = ("Q1", "Q3", "Q4", "Q5", "Q7", "Q8", "Q10", "Q11", "Q12")
+
+#: Queries whose answer size grows with the scale factor (Section 7.2).
+INCREASING_SOLUTION_QUERIES = ("Q2", "Q6", "Q9", "Q13", "Q14")

@@ -1,0 +1,166 @@
+"""YAGO-like dataset: synthetic encyclopedic facts plus eight benchmark queries.
+
+The real YAGO dataset (facts extracted from Wikipedia and WordNet) is not
+redistributable here, so this module generates a synthetic knowledge graph
+with the same relational skeleton that the RDF-3X query set navigates:
+people (scientists, actors, writers, politicians) born in cities located in
+countries, married to other people, acting in films, writing books, and
+affiliated with universities.  The eight queries follow the style of the
+YAGO query set used by RDF-3X and TripleBit (A1–B4): multi-hop joins with a
+small number of type constraints.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterator, List
+
+from repro.datasets.base import Dataset, build_dataset
+from repro.rdf.inference import Ontology
+from repro.rdf.namespaces import Namespace, RDF
+from repro.rdf.terms import IRI, Literal, Triple
+
+#: YAGO-like namespace.
+YAGO = Namespace("http://yago-knowledge.org/resource/")
+
+_PREFIXES = """\
+PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+PREFIX y: <http://yago-knowledge.org/resource/>
+"""
+
+_OCCUPATIONS = ["Scientist", "Actor", "Writer", "Politician"]
+_COUNTRY_COUNT = 8
+
+
+def build_yago_ontology() -> Ontology:
+    """Class hierarchy of the synthetic YAGO fragment."""
+    ontology = Ontology()
+    for occupation in _OCCUPATIONS:
+        ontology.add_subclass(YAGO[occupation], YAGO.Person)
+    ontology.add_subclass(YAGO.City, YAGO.Place)
+    ontology.add_subclass(YAGO.Country, YAGO.Place)
+    ontology.add_subclass(YAGO.Film, YAGO.Work)
+    ontology.add_subclass(YAGO.Book, YAGO.Work)
+    return ontology
+
+
+def generate_yago(people: int = 400, seed: int = 11) -> List[Triple]:
+    """Generate the synthetic YAGO-like fact set."""
+    rng = random.Random(seed)
+    triples: List[Triple] = []
+    cities = [YAGO[f"City{i}"] for i in range(people // 10 + 5)]
+    countries = [YAGO[f"Country{i}"] for i in range(_COUNTRY_COUNT)]
+    universities = [YAGO[f"University{i}"] for i in range(people // 40 + 3)]
+    films = [YAGO[f"Film{i}"] for i in range(people // 4 + 5)]
+    books = [YAGO[f"Book{i}"] for i in range(people // 4 + 5)]
+
+    for country in countries:
+        triples.append(Triple(country, RDF.type, YAGO.Country))
+    for city in cities:
+        triples.append(Triple(city, RDF.type, YAGO.City))
+        triples.append(Triple(city, YAGO.locatedIn, rng.choice(countries)))
+    for university in universities:
+        triples.append(Triple(university, RDF.type, YAGO.University))
+        triples.append(Triple(university, YAGO.locatedIn, rng.choice(cities)))
+    for work_list, cls in ((films, YAGO.Film), (books, YAGO.Book)):
+        for work in work_list:
+            triples.append(Triple(work, RDF.type, cls))
+            triples.append(Triple(work, YAGO.label, Literal(str(work).rsplit("/", 1)[-1])))
+
+    persons = [YAGO[f"Person{i}"] for i in range(people)]
+    for index, person in enumerate(persons):
+        occupation = _OCCUPATIONS[index % len(_OCCUPATIONS)]
+        triples.append(Triple(person, RDF.type, YAGO[occupation]))
+        birth_city = rng.choice(cities)
+        triples.append(Triple(person, YAGO.bornIn, birth_city))
+        triples.append(Triple(person, YAGO.label, Literal(f"Person {index}")))
+        if rng.random() < 0.5:
+            triples.append(Triple(person, YAGO.livesIn, rng.choice(cities)))
+        if rng.random() < 0.4:
+            triples.append(Triple(person, YAGO.graduatedFrom, rng.choice(universities)))
+        if occupation == "Actor":
+            for film in rng.sample(films, min(3, len(films))):
+                triples.append(Triple(person, YAGO.actedIn, film))
+        if occupation == "Writer":
+            for book in rng.sample(books, min(2, len(books))):
+                triples.append(Triple(person, YAGO.wrote, book))
+        if occupation == "Scientist":
+            triples.append(Triple(person, YAGO.hasWonPrize, YAGO.SciencePrize))
+        # Marriages link adjacent persons; both directions are asserted so
+        # "married couple" queries behave like the symmetric YAGO relation.
+        if index % 7 == 0 and index + 1 < people:
+            spouse = persons[index + 1]
+            triples.append(Triple(person, YAGO.marriedTo, spouse))
+            triples.append(Triple(spouse, YAGO.marriedTo, person))
+    return triples
+
+
+YAGO_QUERIES: Dict[str, str] = {
+    # A1: scientists born in a city of a given country.
+    "Q1": _PREFIXES + """
+SELECT ?person ?city WHERE {
+  ?person rdf:type y:Scientist .
+  ?person y:bornIn ?city .
+  ?city y:locatedIn y:Country0 .
+}""",
+    # A2: actors married to scientists (expected to be rare / empty).
+    "Q2": _PREFIXES + """
+SELECT ?actor ?scientist WHERE {
+  ?actor rdf:type y:Actor .
+  ?scientist rdf:type y:Scientist .
+  ?actor y:marriedTo ?scientist .
+  ?scientist y:hasWonPrize y:NobelPrize .
+}""",
+    # A3: writers and the books they wrote.
+    "Q3": _PREFIXES + """
+SELECT ?writer ?book WHERE {
+  ?writer rdf:type y:Writer .
+  ?writer y:wrote ?book .
+  ?book rdf:type y:Book .
+}""",
+    # B1: married couples born in the same city.
+    "Q4": _PREFIXES + """
+SELECT ?a ?b ?city WHERE {
+  ?a y:marriedTo ?b .
+  ?a y:bornIn ?city .
+  ?b y:bornIn ?city .
+}""",
+    # B2: people who live in the city they were born in.
+    "Q5": _PREFIXES + """
+SELECT ?person ?city WHERE {
+  ?person rdf:type y:Person .
+  ?person y:bornIn ?city .
+  ?person y:livesIn ?city .
+}""",
+    # B3: graduates of universities located in a city of Country1.
+    "Q6": _PREFIXES + """
+SELECT ?person ?university WHERE {
+  ?person y:graduatedFrom ?university .
+  ?university y:locatedIn ?city .
+  ?city y:locatedIn y:Country1 .
+}""",
+    # C1: actors in films, together with their birth city's country.
+    "Q7": _PREFIXES + """
+SELECT ?actor ?film ?country WHERE {
+  ?actor rdf:type y:Actor .
+  ?actor y:actedIn ?film .
+  ?actor y:bornIn ?city .
+  ?city y:locatedIn ?country .
+}""",
+    # C2: everything asserted about a fixed person (variable predicate).
+    "Q8": _PREFIXES + """
+SELECT ?property ?value WHERE {
+  y:Person0 ?property ?value .
+}""",
+}
+
+
+def load_yago(people: int = 400, seed: int = 11, apply_inference: bool = True) -> Dataset:
+    """Generate the YAGO-like dataset with its eight queries."""
+    return build_dataset(
+        name=f"YAGO-like({people})",
+        triples=generate_yago(people=people, seed=seed),
+        queries=dict(YAGO_QUERIES),
+        ontology=build_yago_ontology(),
+        apply_inference=apply_inference,
+    )

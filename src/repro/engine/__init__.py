@@ -1,0 +1,12 @@
+"""SPARQL query engines built on the matching core and the baselines' solvers."""
+
+from repro.engine.base import Engine, BGPSolver
+from repro.engine.turbo_engine import TurboHomEngine, TurboHomPPEngine, TurboEngine
+
+__all__ = [
+    "Engine",
+    "BGPSolver",
+    "TurboEngine",
+    "TurboHomEngine",
+    "TurboHomPPEngine",
+]

@@ -1,0 +1,107 @@
+"""Engine and BGP-solver interfaces shared by TurboHOM++ and the baselines.
+
+An :class:`Engine` owns a loaded dataset and answers SPARQL queries; the
+query-shape handling (FILTER / OPTIONAL / UNION / solution modifiers) lives
+in :mod:`repro.engine.evaluator` and is shared, so a concrete engine only
+has to provide
+
+* :meth:`Engine.load` — build its index structures from a
+  :class:`~repro.rdf.store.TripleStore`, and
+* a :class:`BGPSolver` — enumerate the solutions of a basic graph pattern.
+
+This mirrors the paper's experimental setup: all systems answer the same
+SPARQL text, but each has its own storage and BGP evaluation strategy.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, List, Optional, Sequence, Union
+
+from repro.exceptions import EngineError
+from repro.rdf.store import TripleStore
+from repro.sparql import expressions as expr
+from repro.sparql.ast import SelectQuery, TriplePattern
+from repro.sparql.parser import parse_sparql
+from repro.sparql.results import Binding, ResultSet
+
+
+class BGPSolver(abc.ABC):
+    """Evaluates one basic graph pattern (a list of triple patterns)."""
+
+    @abc.abstractmethod
+    def solve(
+        self,
+        patterns: Sequence[TriplePattern],
+        cheap_filters: Sequence[expr.Expression] = (),
+    ) -> Iterable[Binding]:
+        """Yield bindings (variable name → decoded RDF term) for the BGP.
+
+        ``cheap_filters`` are single-variable filters the solver *may* push
+        into its evaluation; the caller re-applies every filter afterwards,
+        so pushing is purely an optimization.
+        """
+
+    def supports_filter_pushdown(self) -> bool:
+        """True when the solver makes use of ``cheap_filters``."""
+        return False
+
+
+class Engine(abc.ABC):
+    """A loaded RDF query engine."""
+
+    #: Human-readable engine name used in benchmark tables.
+    name: str = "engine"
+    #: Whether the engine supports OPTIONAL (the open-source baselines do not,
+    #: mirroring the paper's Table 6 footnote).
+    supports_optional: bool = True
+
+    def __init__(self) -> None:
+        self._store: Optional[TripleStore] = None
+
+    # ---------------------------------------------------------------- loading
+    @abc.abstractmethod
+    def load(self, store: TripleStore) -> None:
+        """Build the engine's internal structures from a triple store."""
+
+    @property
+    def store(self) -> TripleStore:
+        """The loaded triple store."""
+        if self._store is None:
+            raise EngineError(f"{self.name}: no dataset loaded")
+        return self._store
+
+    @abc.abstractmethod
+    def bgp_solver(self) -> BGPSolver:
+        """The engine's basic-graph-pattern solver."""
+
+    # ---------------------------------------------------------------- queries
+    def query(self, query: Union[str, SelectQuery]) -> ResultSet:
+        """Answer a SPARQL SELECT query."""
+        from repro.engine.evaluator import evaluate_query
+
+        parsed = parse_sparql(query) if isinstance(query, str) else query
+        if not self.supports_optional and _uses_optional(parsed):
+            raise EngineError(f"{self.name} does not support OPTIONAL")
+        return evaluate_query(parsed, self.bgp_solver())
+
+    def count(self, query: Union[str, SelectQuery]) -> int:
+        """Number of solutions of a query."""
+        return len(self.query(query))
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+def _uses_optional(query: SelectQuery) -> bool:
+    """True when the query contains an OPTIONAL clause anywhere."""
+
+    def walk(group) -> bool:
+        if group.optionals:
+            return True
+        for union in group.unions:
+            if any(walk(alt) for alt in union.alternatives):
+                return True
+        return any(walk(opt) for opt in group.optionals)
+
+    return walk(query.where)

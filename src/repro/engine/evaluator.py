@@ -1,0 +1,164 @@
+"""Shared SPARQL algebra evaluation on top of a BGP solver.
+
+Every engine (TurboHOM++, RDF-3X-style, TripleBit-style, bitmap) answers a
+basic graph pattern in its own way; everything above the BGP level — FILTER
+semantics, OPTIONAL (left outer join), UNION, joins between group parts,
+projection, DISTINCT, ORDER BY, LIMIT/OFFSET — is identical and lives here.
+
+Filters are split per Section 5.1: *inexpensive* single-variable filters are
+offered to the BGP solver for push-down into pattern matching; *expensive*
+filters (multi-variable joins, regular expressions, BOUND) are applied after
+the group's solutions are assembled.  All filters are re-checked at the end,
+so push-down is purely an optimization and cannot change the semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.engine.base import BGPSolver
+from repro.sparql import expressions as expr
+from repro.sparql.ast import GraphPattern, SelectQuery, UnionPattern
+from repro.sparql.results import Binding, ResultSet
+
+
+def evaluate_query(query: SelectQuery, solver: BGPSolver) -> ResultSet:
+    """Evaluate a SELECT query with the given BGP solver."""
+    solutions = evaluate_group(query.where, solver)
+    projection = [str(v) for v in query.projection()]
+    result = ResultSet(projection)
+    for binding in solutions:
+        result.append({var: binding.get(var) for var in projection})
+    if query.distinct:
+        result = result.distinct()
+    if query.order_by:
+        result = result.order_by([(str(v), asc) for v, asc in query.order_by])
+    if query.limit is not None or query.offset:
+        result = result.slice(query.limit, query.offset)
+    return result
+
+
+def evaluate_group(group: GraphPattern, solver: BGPSolver) -> List[Binding]:
+    """Evaluate a group graph pattern into a list of bindings."""
+    cheap, expensive = expr.split_filters(group.filters)
+
+    # 1. Basic graph pattern.
+    if group.triples:
+        solutions: List[Binding] = list(solver.solve(group.triples, cheap))
+    else:
+        solutions = [{}]
+
+    # 2. UNION blocks join with the rest of the group.
+    for union in group.unions:
+        union_solutions: List[Binding] = []
+        for alternative in union.alternatives:
+            union_solutions.extend(evaluate_group(alternative, solver))
+        solutions = _join(solutions, union_solutions)
+
+    # 3. OPTIONAL blocks: left outer join in declaration order.
+    for optional in group.optionals:
+        optional_solutions = evaluate_group(optional, solver)
+        solutions = _left_outer_join(solutions, optional_solutions, optional.variables())
+
+    # 4. FILTER conditions (all of them, cheap ones included for safety).
+    for condition in list(cheap) + list(expensive):
+        solutions = [s for s in solutions if expr.evaluate_filter(condition, s)]
+    return solutions
+
+
+# ----------------------------------------------------------------------- joins
+def _shared_variables(left: List[Binding], right: List[Binding]) -> List[str]:
+    """Variables appearing on both sides (the join attributes)."""
+    left_vars: Set[str] = set()
+    for binding in left:
+        left_vars.update(binding.keys())
+    right_vars: Set[str] = set()
+    for binding in right:
+        right_vars.update(binding.keys())
+    return sorted(left_vars & right_vars)
+
+
+def _compatible(left: Binding, right: Binding, shared: Sequence[str]) -> bool:
+    """SPARQL compatibility: shared variables must agree (None is a wildcard)."""
+    for var in shared:
+        lv = left.get(var)
+        rv = right.get(var)
+        if lv is not None and rv is not None and lv != rv:
+            return False
+    return True
+
+
+def _merge(left: Binding, right: Binding) -> Binding:
+    """Merge two compatible bindings (right fills unbound variables)."""
+    merged = dict(left)
+    for var, value in right.items():
+        if merged.get(var) is None:
+            merged[var] = value
+    return merged
+
+
+def _join(left: List[Binding], right: List[Binding]) -> List[Binding]:
+    """Inner join of two binding lists (hash join on shared variables)."""
+    if not left:
+        return []
+    if not right:
+        return []
+    shared = _shared_variables(left, right)
+    if not shared:
+        return [_merge(l, r) for l in left for r in right]
+    index: Dict[Tuple, List[Binding]] = {}
+    for binding in right:
+        key = tuple(binding.get(var) for var in shared)
+        index.setdefault(key, []).append(binding)
+    joined: List[Binding] = []
+    for binding in left:
+        key = tuple(binding.get(var) for var in shared)
+        # Exact-match probe plus wildcard probes for None entries.
+        for candidate in _probe(index, key):
+            if _compatible(binding, candidate, shared):
+                joined.append(_merge(binding, candidate))
+    return joined
+
+
+def _probe(index: Dict[Tuple, List[Binding]], key: Tuple) -> Iterable[Binding]:
+    """Probe the hash index, scanning everything when the key has wildcards."""
+    if any(part is None for part in key):
+        for bucket in index.values():
+            yield from bucket
+        return
+    yield from index.get(key, [])
+    # Buckets whose key contains None may still be compatible.
+    for other_key, bucket in index.items():
+        if other_key != key and any(part is None for part in other_key):
+            yield from bucket
+
+
+def _left_outer_join(
+    left: List[Binding],
+    right: List[Binding],
+    right_variables: Iterable,
+) -> List[Binding]:
+    """SPARQL OPTIONAL: keep left rows with no compatible right row (as nulls)."""
+    right_vars = [str(v) for v in right_variables]
+    if not left:
+        return []
+    shared = _shared_variables(left, right) if right else []
+    index: Dict[Tuple, List[Binding]] = {}
+    for binding in right:
+        key = tuple(binding.get(var) for var in shared)
+        index.setdefault(key, []).append(binding)
+    result: List[Binding] = []
+    for binding in left:
+        key = tuple(binding.get(var) for var in shared)
+        matched = False
+        if right:
+            for candidate in _probe(index, key):
+                if _compatible(binding, candidate, shared):
+                    result.append(_merge(binding, candidate))
+                    matched = True
+        if not matched:
+            extended = dict(binding)
+            for var in right_vars:
+                extended.setdefault(var, None)
+            result.append(extended)
+    return result

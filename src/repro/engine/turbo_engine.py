@@ -1,0 +1,399 @@
+"""SPARQL engines backed by the TurboHOM / TurboHOM++ matcher.
+
+:class:`TurboEngine` loads a :class:`~repro.rdf.store.TripleStore`, applies
+either the direct or the type-aware transformation, and answers basic graph
+patterns with a :class:`~repro.matching.turbo.TurboMatcher`.  The two paper
+systems are thin subclasses:
+
+* :class:`TurboHomEngine` — direct transformation, no TurboHOM++
+  optimizations (the system of Figure 6),
+* :class:`TurboHomPPEngine` — type-aware transformation plus +INT / -NLF /
+  -DEG / +REUSE (the system of Tables 3–7).
+
+Besides plain vertex matching, the BGP solver takes care of the pieces that
+the labeled-graph view leaves open:
+
+* connected components of the query graph are matched independently and
+  combined with a cross product (e.g. BSBM-style queries whose parts are
+  linked only through FILTER),
+* predicate variables are bound post-hoc by enumerating the edge labels
+  between matched vertices (the ``Me`` mapping of Definition 2),
+* ``?x rdf:type ?t`` patterns on the type-aware graph are answered from the
+  matched vertex's label set,
+* inexpensive single-variable FILTERs are pushed into candidate-region
+  exploration as vertex predicates.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.engine.base import BGPSolver, Engine
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.query_graph import QueryGraph
+from repro.graph.transform import (
+    GraphMapping,
+    QueryTransformResult,
+    direct_transform,
+    direct_transform_query,
+    type_aware_transform,
+    type_aware_transform_query,
+)
+from repro.matching.config import MatchConfig
+from repro.matching.parallel import ParallelMatcher, ParallelStats
+from repro.matching.turbo import Solution, TurboMatcher
+from repro.rdf.namespaces import RDF
+from repro.rdf.store import TripleStore
+from repro.rdf.terms import Term
+from repro.sparql import expressions as expr
+from repro.sparql.ast import TriplePattern, Variable
+from repro.sparql.results import Binding
+
+
+class TurboBGPSolver(BGPSolver):
+    """BGP solver running the TurboMatcher over a transformed graph."""
+
+    def __init__(
+        self,
+        graph: LabeledGraph,
+        mapping: GraphMapping,
+        config: MatchConfig,
+        type_aware: bool,
+        workers: int = 1,
+    ):
+        self.graph = graph
+        self.mapping = mapping
+        self.config = config
+        self.type_aware = type_aware
+        self.workers = workers
+
+    def supports_filter_pushdown(self) -> bool:
+        return True
+
+    # ------------------------------------------------------------------ solve
+    def solve(
+        self,
+        patterns: Sequence[TriplePattern],
+        cheap_filters: Sequence[expr.Expression] = (),
+    ) -> Iterable[Binding]:
+        if self.type_aware:
+            # Under the type-aware transformation rdf:type is not an edge, so
+            # a pattern with a *variable* predicate must additionally consider
+            # the interpretation "the predicate is rdf:type".  Each such
+            # pattern is expanded into its edge / type alternatives; the two
+            # interpretations are disjoint (no rdf:type edges exist in the
+            # graph), so results are concatenated without deduplication.
+            variable_predicate_indices = [
+                index
+                for index, pattern in enumerate(patterns)
+                if isinstance(pattern.predicate, Variable)
+            ]
+            if variable_predicate_indices:
+                results: List[Binding] = []
+                for choice in itertools.product(
+                    ("edge", "type"), repeat=len(variable_predicate_indices)
+                ):
+                    rewritten = list(patterns)
+                    forced: Dict[str, Term] = {}
+                    for position, interpretation in zip(variable_predicate_indices, choice):
+                        if interpretation == "type":
+                            original = patterns[position]
+                            rewritten[position] = TriplePattern(
+                                original.subject, RDF.type, original.object
+                            )
+                            forced[str(original.predicate)] = RDF.type
+                    for binding in self._solve_simple(rewritten, cheap_filters):
+                        conflict = any(
+                            binding.get(name) not in (None, value)
+                            for name, value in forced.items()
+                        )
+                        if conflict:
+                            continue
+                        extended = dict(binding)
+                        extended.update(forced)
+                        results.append(extended)
+                return results
+        return self._solve_simple(patterns, cheap_filters)
+
+    def _solve_simple(
+        self,
+        patterns: Sequence[TriplePattern],
+        cheap_filters: Sequence[expr.Expression] = (),
+    ) -> List[Binding]:
+        transformed = self._transform(patterns)
+        query = transformed.query_graph
+        components = query.connected_components()
+        per_component: List[List[Binding]] = []
+        for component in components:
+            subquery, index_map = _extract_component(query, component)
+            predicates = self._vertex_predicates(subquery, cheap_filters)
+            solutions = self._match(subquery, predicates)
+            bindings = [
+                self._solution_to_binding(subquery, solution) for solution in solutions
+            ]
+            per_component.append(bindings)
+            if not bindings:
+                return []
+        combined = _cross_product(per_component)
+        combined = self._bind_type_variables(combined, transformed)
+        return combined
+
+    # ------------------------------------------------------------- internals
+    def _transform(self, patterns: Sequence[TriplePattern]) -> QueryTransformResult:
+        if self.type_aware:
+            return type_aware_transform_query(patterns, self.mapping)
+        return direct_transform_query(patterns, self.mapping)
+
+    def _match(self, query: QueryGraph, predicates) -> List[Solution]:
+        if self.workers > 1 and query.vertex_count() > 1:
+            matcher = ParallelMatcher(self.graph, self.config, workers=self.workers)
+            solutions, _ = matcher.match(query, vertex_predicates=predicates)
+            return solutions
+        matcher = TurboMatcher(self.graph, self.config)
+        return matcher.match(query, vertex_predicates=predicates)
+
+    def _vertex_predicates(
+        self,
+        query: QueryGraph,
+        cheap_filters: Sequence[expr.Expression],
+    ) -> Dict[int, Callable[[int], bool]]:
+        """Push single-variable filters down to candidate generation."""
+        predicates: Dict[int, Callable[[int], bool]] = {}
+        if not cheap_filters:
+            return predicates
+        by_variable: Dict[str, List[expr.Expression]] = {}
+        for condition in cheap_filters:
+            variables = set(condition.variables())
+            if len(variables) != 1:
+                continue
+            by_variable.setdefault(next(iter(variables)), []).append(condition)
+        for vertex in query.vertices:
+            if not vertex.is_variable or vertex.name not in by_variable:
+                continue
+            conditions = by_variable[vertex.name]
+            mapping = self.mapping
+            name = vertex.name
+
+            def predicate(data_vertex: int, _conditions=conditions, _name=name) -> bool:
+                term = mapping.term_for_vertex(data_vertex)
+                binding = {_name: term}
+                return all(expr.evaluate_filter(c, binding) for c in _conditions)
+
+            predicates[vertex.index] = predicate
+        return predicates
+
+    def _solution_to_binding(self, query: QueryGraph, solution: Solution) -> Binding:
+        """Decode a vertex mapping into variable bindings.
+
+        Predicate variables are enumerated lazily afterwards; here we record
+        the matched endpoints so :meth:`_expand_predicate_variables` can bind
+        them.
+        """
+        binding: Binding = {}
+        for vertex in query.vertices:
+            if vertex.is_variable:
+                binding[vertex.name] = self.mapping.term_for_vertex(solution[vertex.index])
+        predicate_bindings = self._predicate_variable_bindings(query, solution)
+        if predicate_bindings is not None:
+            binding["__predicate_choices__"] = predicate_bindings  # type: ignore[assignment]
+        return binding
+
+    def _predicate_variable_bindings(
+        self, query: QueryGraph, solution: Solution
+    ) -> Optional[Dict[str, List[Term]]]:
+        """Possible bindings for each predicate variable of the component."""
+        names = query.predicate_variables()
+        if not names:
+            return None
+        choices: Dict[str, List[Term]] = {}
+        for name in names:
+            allowed: Optional[Set[int]] = None
+            for edge in query.edges:
+                if edge.predicate_variable != name:
+                    continue
+                labels = set(
+                    self.graph.edge_labels_between(solution[edge.source], solution[edge.target])
+                )
+                allowed = labels if allowed is None else (allowed & labels)
+            terms = sorted(
+                (self.mapping.term_for_edge_label(label) for label in (allowed or set())),
+                key=str,
+            )
+            choices[name] = terms
+        return choices
+
+    def _bind_type_variables(
+        self,
+        bindings: List[Binding],
+        transformed: QueryTransformResult,
+    ) -> List[Binding]:
+        """Expand predicate-variable choices and ``rdf:type ?t`` patterns."""
+        expanded: List[Binding] = []
+        for binding in bindings:
+            choices: Dict[str, List[Term]] = binding.pop("__predicate_choices__", None)  # type: ignore[arg-type]
+            partials = [binding]
+            if choices:
+                partials = []
+                names = sorted(choices)
+                for combo in itertools.product(*(choices[name] for name in names)):
+                    extended = dict(binding)
+                    extended.update(dict(zip(names, combo)))
+                    partials.append(extended)
+                if not all(choices.values()):
+                    partials = []
+            for partial in partials:
+                expanded.extend(self._expand_type_variables(partial, transformed))
+        return expanded
+
+    def _expand_type_variables(
+        self,
+        binding: Binding,
+        transformed: QueryTransformResult,
+    ) -> List[Binding]:
+        """Bind type variables from vertex label sets (type-aware graphs only)."""
+        if not transformed.type_variable_patterns:
+            return [binding]
+        results = [binding]
+        for subject_name, type_variable in transformed.type_variable_patterns:
+            vertex_index = transformed.query_graph.vertex_index(subject_name)
+            if vertex_index is None:
+                return []
+            subject_vertex = transformed.query_graph.vertices[vertex_index]
+            next_results: List[Binding] = []
+            for current in results:
+                if subject_vertex.is_variable:
+                    term = current.get(subject_name)
+                    node_id = self.mapping.dictionary.lookup_node(term) if term is not None else None
+                    data_vertex = (
+                        self.mapping.vertex_for_node(node_id) if node_id is not None else -1
+                    )
+                else:
+                    data_vertex = subject_vertex.vertex_id if subject_vertex.vertex_id is not None else -1
+                if data_vertex is None or data_vertex < 0:
+                    continue
+                labels = self.graph.vertex_labels(data_vertex)
+                existing = current.get(type_variable)
+                for label in sorted(labels):
+                    type_term = self.mapping.term_for_label(label)
+                    if existing is not None and existing != type_term:
+                        continue
+                    extended = dict(current)
+                    extended[type_variable] = type_term
+                    next_results.append(extended)
+            results = next_results
+        return results
+
+
+# --------------------------------------------------------------------- engine
+class TurboEngine(Engine):
+    """Engine front-end over the TurboMatcher (direct or type-aware)."""
+
+    name = "TurboEngine"
+    supports_optional = True
+
+    def __init__(
+        self,
+        type_aware: bool = True,
+        config: Optional[MatchConfig] = None,
+        workers: int = 1,
+    ):
+        super().__init__()
+        self.type_aware = type_aware
+        self.config = config if config is not None else MatchConfig.turbo_hom_pp()
+        self.workers = workers
+        self.graph: Optional[LabeledGraph] = None
+        self.mapping: Optional[GraphMapping] = None
+
+    def load(self, store: TripleStore) -> None:
+        """Transform the store into the engine's labeled graph."""
+        self._store = store
+        if self.type_aware:
+            self.graph, self.mapping = type_aware_transform(store)
+        else:
+            self.graph, self.mapping = direct_transform(store)
+
+    def bgp_solver(self) -> TurboBGPSolver:
+        if self.graph is None or self.mapping is None:
+            raise RuntimeError(f"{self.name}: load() must be called before querying")
+        return TurboBGPSolver(
+            self.graph, self.mapping, self.config, self.type_aware, self.workers
+        )
+
+
+class TurboHomEngine(TurboEngine):
+    """TurboHOM: direct transformation, unoptimized homomorphism matching."""
+
+    name = "TurboHOM"
+
+    def __init__(self, workers: int = 1):
+        super().__init__(
+            type_aware=False,
+            config=MatchConfig.homomorphism_baseline(),
+            workers=workers,
+        )
+
+
+class TurboHomPPEngine(TurboEngine):
+    """TurboHOM++: type-aware transformation with all optimizations."""
+
+    name = "TurboHOM++"
+
+    def __init__(self, config: Optional[MatchConfig] = None, workers: int = 1):
+        super().__init__(
+            type_aware=True,
+            config=config if config is not None else MatchConfig.turbo_hom_pp(),
+            workers=workers,
+        )
+
+
+# -------------------------------------------------------------------- helpers
+def _extract_component(
+    query: QueryGraph, component: List[int]
+) -> Tuple[QueryGraph, Dict[int, int]]:
+    """Copy one connected component into a standalone query graph."""
+    if len(component) == query.vertex_count():
+        return query, {v: v for v in component}
+    subquery = QueryGraph()
+    index_map: Dict[int, int] = {}
+    for old_index in component:
+        vertex = query.vertices[old_index]
+        new_index = subquery.add_vertex(
+            vertex.name, vertex.labels, vertex.vertex_id, vertex.is_variable
+        )
+        index_map[old_index] = new_index
+    in_component = set(component)
+    for edge in query.edges:
+        if edge.source in in_component and edge.target in in_component:
+            subquery.add_edge(
+                index_map[edge.source],
+                index_map[edge.target],
+                edge.label,
+                edge.predicate_variable,
+            )
+    return subquery, index_map
+
+
+def _cross_product(per_component: List[List[Binding]]) -> List[Binding]:
+    """Cartesian product of per-component binding lists."""
+    if not per_component:
+        return [{}]
+    result = per_component[0]
+    for bindings in per_component[1:]:
+        merged: List[Binding] = []
+        for left in result:
+            for right in bindings:
+                combined = dict(left)
+                # Merge predicate-choice side channels from both components.
+                left_choices = combined.get("__predicate_choices__")
+                right_choices = right.get("__predicate_choices__")
+                combined.update(right)
+                if left_choices and right_choices:
+                    merged_choices = dict(left_choices)
+                    merged_choices.update(right_choices)
+                    combined["__predicate_choices__"] = merged_choices  # type: ignore[assignment]
+                elif left_choices:
+                    combined["__predicate_choices__"] = left_choices  # type: ignore[assignment]
+                merged.append(combined)
+        result = merged
+    return result

@@ -1,0 +1,24 @@
+"""Labeled graph storage and RDF-to-graph transformations."""
+
+from repro.graph.labeled_graph import LabeledGraph, GraphBuilder
+from repro.graph.query_graph import QueryGraph, QueryVertex, QueryEdge
+from repro.graph.transform import (
+    direct_transform,
+    type_aware_transform,
+    direct_transform_query,
+    type_aware_transform_query,
+    TransformStats,
+)
+
+__all__ = [
+    "LabeledGraph",
+    "GraphBuilder",
+    "QueryGraph",
+    "QueryVertex",
+    "QueryEdge",
+    "direct_transform",
+    "type_aware_transform",
+    "direct_transform_query",
+    "type_aware_transform_query",
+    "TransformStats",
+]

@@ -1,0 +1,272 @@
+"""In-memory labeled directed multigraph (the paper's Figure 9 structures).
+
+A :class:`LabeledGraph` stores, per vertex, its label set plus incoming and
+outgoing adjacency grouped two ways:
+
+* by edge label — used when the query vertex label is blank,
+* by *neighbour type*, the pair ``(edge label, vertex label)`` — used when
+  both the predicate and the neighbour's type are known.
+
+It also maintains the *inverse vertex label list* (label → sorted vertices)
+and the *predicate index* (edge label → sorted subjects / sorted objects)
+described in Sections 4.2.  All posting lists are sorted integer lists so
+that the ``+INT`` bulk-intersection optimization applies directly.
+
+Graphs are built through :class:`GraphBuilder` (mutable accumulation) and
+then frozen into the read-only :class:`LabeledGraph`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import GraphError
+from repro.utils.intersect import contains_sorted, intersect_many, union_many
+
+EMPTY_LABELS: FrozenSet[int] = frozenset()
+_EMPTY_LIST: List[int] = []
+
+
+class GraphBuilder:
+    """Mutable accumulator used to construct a :class:`LabeledGraph`."""
+
+    def __init__(self) -> None:
+        self._labels: Dict[int, Set[int]] = defaultdict(set)
+        self._edges: Set[Tuple[int, int, int]] = set()
+        self._max_vertex = -1
+
+    def add_vertex(self, vertex: int, labels: Iterable[int] = ()) -> None:
+        """Declare a vertex and add labels to it."""
+        if vertex < 0:
+            raise GraphError(f"vertex ids must be non-negative, got {vertex}")
+        self._labels[vertex].update(labels)
+        self._max_vertex = max(self._max_vertex, vertex)
+
+    def add_edge(self, source: int, edge_label: int, target: int) -> None:
+        """Add a directed labeled edge, creating endpoints as needed."""
+        self.add_vertex(source)
+        self.add_vertex(target)
+        self._edges.add((source, edge_label, target))
+
+    def build(self) -> "LabeledGraph":
+        """Freeze into an immutable :class:`LabeledGraph`."""
+        vertex_count = self._max_vertex + 1
+        labels = [frozenset(self._labels.get(v, ())) for v in range(vertex_count)]
+        return LabeledGraph(vertex_count, labels, self._edges)
+
+
+class LabeledGraph:
+    """Read-only labeled directed multigraph with sorted adjacency lists."""
+
+    def __init__(
+        self,
+        vertex_count: int,
+        labels: Sequence[FrozenSet[int]],
+        edges: Iterable[Tuple[int, int, int]],
+    ) -> None:
+        if len(labels) != vertex_count:
+            raise GraphError("labels must have one entry per vertex")
+        self.vertex_count = vertex_count
+        self.labels: List[FrozenSet[int]] = list(labels)
+
+        out_by_label: List[Dict[int, List[int]]] = [defaultdict(list) for _ in range(vertex_count)]
+        in_by_label: List[Dict[int, List[int]]] = [defaultdict(list) for _ in range(vertex_count)]
+        edge_count = 0
+        for source, edge_label, target in edges:
+            out_by_label[source][edge_label].append(target)
+            in_by_label[target][edge_label].append(source)
+            edge_count += 1
+        self.edge_count = edge_count
+
+        # Freeze adjacency: sorted unique neighbour lists per edge label.
+        self._out: List[Dict[int, List[int]]] = []
+        self._in: List[Dict[int, List[int]]] = []
+        for v in range(vertex_count):
+            self._out.append({el: sorted(set(ns)) for el, ns in out_by_label[v].items()})
+            self._in.append({el: sorted(set(ns)) for el, ns in in_by_label[v].items()})
+
+        # Neighbour-type grouped adjacency: (edge label, vertex label) -> neighbours.
+        self._out_by_type: List[Dict[Tuple[int, int], List[int]]] = []
+        self._in_by_type: List[Dict[Tuple[int, int], List[int]]] = []
+        for v in range(vertex_count):
+            out_groups: Dict[Tuple[int, int], List[int]] = defaultdict(list)
+            for el, neighbours in self._out[v].items():
+                for n in neighbours:
+                    for vl in self.labels[n]:
+                        out_groups[(el, vl)].append(n)
+            self._out_by_type.append({k: sorted(set(ns)) for k, ns in out_groups.items()})
+            in_groups: Dict[Tuple[int, int], List[int]] = defaultdict(list)
+            for el, neighbours in self._in[v].items():
+                for n in neighbours:
+                    for vl in self.labels[n]:
+                        in_groups[(el, vl)].append(n)
+            self._in_by_type.append({k: sorted(set(ns)) for k, ns in in_groups.items()})
+
+        # Inverse vertex label list: label -> sorted vertices carrying it.
+        inverse: Dict[int, List[int]] = defaultdict(list)
+        for v in range(vertex_count):
+            for label in self.labels[v]:
+                inverse[label].append(v)
+        self._inverse_label: Dict[int, List[int]] = {l: sorted(vs) for l, vs in inverse.items()}
+
+        # Predicate index: edge label -> (sorted subjects, sorted objects).
+        pred_subjects: Dict[int, Set[int]] = defaultdict(set)
+        pred_objects: Dict[int, Set[int]] = defaultdict(set)
+        for v in range(vertex_count):
+            for el, neighbours in self._out[v].items():
+                if neighbours:
+                    pred_subjects[el].add(v)
+                    pred_objects[el].update(neighbours)
+        self._predicate_index: Dict[int, Tuple[List[int], List[int]]] = {
+            el: (sorted(pred_subjects[el]), sorted(pred_objects[el]))
+            for el in pred_subjects
+        }
+
+        # Total degree per vertex (counting multi-labelled edges once per label).
+        self._degree: List[int] = [
+            sum(len(ns) for ns in self._out[v].values())
+            + sum(len(ns) for ns in self._in[v].values())
+            for v in range(vertex_count)
+        ]
+
+    # ------------------------------------------------------------------ views
+    def vertices(self) -> range:
+        """All vertex ids."""
+        return range(self.vertex_count)
+
+    def vertex_labels(self, vertex: int) -> FrozenSet[int]:
+        """Label set of a vertex."""
+        return self.labels[vertex]
+
+    def degree(self, vertex: int) -> int:
+        """Total (in + out) degree."""
+        return self._degree[vertex]
+
+    def edge_labels(self) -> Set[int]:
+        """All edge labels present in the graph."""
+        return set(self._predicate_index)
+
+    def all_labels(self) -> Set[int]:
+        """All vertex labels present in the graph."""
+        return set(self._inverse_label)
+
+    def iter_edges(self) -> Iterator[Tuple[int, int, int]]:
+        """Iterate over ``(source, edge label, target)`` edges."""
+        for v in range(self.vertex_count):
+            for el, neighbours in self._out[v].items():
+                for n in neighbours:
+                    yield (v, el, n)
+
+    # -------------------------------------------------------------- adjacency
+    def out_neighbors(self, vertex: int, edge_label: Optional[int] = None) -> List[int]:
+        """Outgoing neighbours, optionally restricted to one edge label."""
+        if edge_label is None:
+            return union_many(self._out[vertex].values())
+        return self._out[vertex].get(edge_label, _EMPTY_LIST)
+
+    def in_neighbors(self, vertex: int, edge_label: Optional[int] = None) -> List[int]:
+        """Incoming neighbours, optionally restricted to one edge label."""
+        if edge_label is None:
+            return union_many(self._in[vertex].values())
+        return self._in[vertex].get(edge_label, _EMPTY_LIST)
+
+    def neighbors_by_type(
+        self,
+        vertex: int,
+        edge_label: Optional[int],
+        vertex_labels: FrozenSet[int],
+        outgoing: bool = True,
+    ) -> List[int]:
+        """Adjacent vertices matching a neighbour type.
+
+        Implements the adjacency look-up rules of Section 4.2:
+
+        * one vertex label + one edge label — direct group look-up,
+        * several vertex labels — intersect the per-label groups,
+        * blank vertex label — fall back to the per-edge-label list,
+        * blank edge label — union over all edge labels (restricted to the
+          requested vertex labels when given).
+        """
+        by_type = self._out_by_type[vertex] if outgoing else self._in_by_type[vertex]
+        by_label = self._out[vertex] if outgoing else self._in[vertex]
+        if edge_label is not None:
+            if not vertex_labels:
+                return by_label.get(edge_label, _EMPTY_LIST)
+            groups = [by_type.get((edge_label, vl), _EMPTY_LIST) for vl in vertex_labels]
+            if len(groups) == 1:
+                return groups[0]
+            return intersect_many(groups)
+        # Blank edge label: union over every edge label.
+        if not vertex_labels:
+            return union_many(by_label.values())
+        per_label: List[List[int]] = []
+        for vl in vertex_labels:
+            matches = [ns for (el, label), ns in by_type.items() if label == vl]
+            per_label.append(union_many(matches))
+        if len(per_label) == 1:
+            return per_label[0]
+        return intersect_many(per_label)
+
+    def has_edge(self, source: int, target: int, edge_label: Optional[int] = None) -> bool:
+        """Edge existence test (any label when ``edge_label`` is None)."""
+        if edge_label is not None:
+            return contains_sorted(self._out[source].get(edge_label, _EMPTY_LIST), target)
+        return any(contains_sorted(ns, target) for ns in self._out[source].values())
+
+    def edge_labels_between(self, source: int, target: int) -> List[int]:
+        """All edge labels connecting source to target (for predicate variables)."""
+        return sorted(
+            el for el, ns in self._out[source].items() if contains_sorted(ns, target)
+        )
+
+    def neighbor_type_counts(self, vertex: int, outgoing: bool = True) -> Dict[Tuple[int, int], int]:
+        """Number of neighbours per (edge label, vertex label) group (NLF filter input)."""
+        by_type = self._out_by_type[vertex] if outgoing else self._in_by_type[vertex]
+        return {key: len(ns) for key, ns in by_type.items()}
+
+    # ----------------------------------------------------------------- labels
+    def vertices_with_label(self, label: int) -> List[int]:
+        """Sorted vertices carrying a label (inverse vertex label list)."""
+        return self._inverse_label.get(label, _EMPTY_LIST)
+
+    def vertices_with_labels(self, labels: FrozenSet[int]) -> List[int]:
+        """Sorted vertices carrying *all* the given labels."""
+        if not labels:
+            return list(range(self.vertex_count))
+        lists = [self.vertices_with_label(label) for label in labels]
+        if len(lists) == 1:
+            return lists[0]
+        return intersect_many(lists)
+
+    def label_frequency(self, labels: FrozenSet[int]) -> int:
+        """``freq(g, L(u))`` — number of vertices carrying all the labels."""
+        if not labels:
+            return self.vertex_count
+        if len(labels) == 1:
+            return len(self.vertices_with_label(next(iter(labels))))
+        return len(self.vertices_with_labels(labels))
+
+    # -------------------------------------------------------- predicate index
+    def predicate_subjects(self, edge_label: int) -> List[int]:
+        """Sorted vertices with at least one outgoing edge of this label."""
+        entry = self._predicate_index.get(edge_label)
+        return entry[0] if entry else _EMPTY_LIST
+
+    def predicate_objects(self, edge_label: int) -> List[int]:
+        """Sorted vertices with at least one incoming edge of this label."""
+        entry = self._predicate_index.get(edge_label)
+        return entry[1] if entry else _EMPTY_LIST
+
+    # ------------------------------------------------------------------ stats
+    def stats(self) -> Dict[str, int]:
+        """Size statistics used by Table 1."""
+        return {
+            "vertices": self.vertex_count,
+            "edges": self.edge_count,
+            "vertex_labels": len(self._inverse_label),
+            "edge_labels": len(self._predicate_index),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"LabeledGraph(|V|={self.vertex_count}, |E|={self.edge_count})"

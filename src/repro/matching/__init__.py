@@ -1,0 +1,29 @@
+"""Subgraph isomorphism / e-graph homomorphism matching engines.
+
+The package implements the paper's algorithm family:
+
+* :class:`~repro.matching.turbo.TurboMatcher` — the TurboISO-style candidate
+  region matcher, parameterized by :class:`~repro.matching.config.MatchConfig`
+  (isomorphism vs homomorphism, and the four TurboHOM++ optimizations).
+* :func:`~repro.matching.turbo.turbo_iso` / :func:`turbo_hom` /
+  :func:`turbo_hom_pp` — convenience constructors with the paper's settings.
+* :mod:`~repro.matching.generic` — a simple backtracking matcher used as a
+  correctness oracle and as the "generic framework" baseline of Section 2.2.
+* :mod:`~repro.matching.parallel` — work partitioning of starting vertices.
+"""
+
+from repro.matching.config import MatchConfig
+from repro.matching.turbo import TurboMatcher, turbo_iso, turbo_hom, turbo_hom_pp
+from repro.matching.generic import GenericMatcher
+from repro.matching.parallel import ParallelMatcher, ParallelStats
+
+__all__ = [
+    "MatchConfig",
+    "TurboMatcher",
+    "turbo_iso",
+    "turbo_hom",
+    "turbo_hom_pp",
+    "GenericMatcher",
+    "ParallelMatcher",
+    "ParallelStats",
+]

@@ -1,0 +1,158 @@
+"""``ExploreCandidateRegion`` (Algorithm 1, line 9).
+
+A candidate region is the portion of the data graph reachable from one start
+data vertex by following the query tree's topology.  The structure mirrors
+``CR(u, v)`` of Algorithm 2: for each non-root query vertex ``u`` and each
+data vertex ``v`` matched to ``u``'s parent, the sorted list of candidate
+data vertices for ``u``.
+
+Exploration prunes eagerly: a candidate survives only if every child query
+vertex below it also has at least one candidate, so the region sizes reported
+to ``DetermineMatchingOrder`` are close to the true selectivities — this is
+the property that makes TurboISO's matching orders accurate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.query_graph import QueryGraph, QueryVertex
+from repro.matching.config import MatchConfig
+from repro.matching.filters import passes_filters
+from repro.matching.query_tree import QueryTree, TreeEdge
+
+#: Optional per-query-vertex data-vertex predicate (inexpensive FILTER push-down).
+VertexPredicate = Callable[[int], bool]
+
+
+class CandidateRegion:
+    """Candidate vertices grouped by (query vertex, parent data vertex)."""
+
+    def __init__(self, start_query_vertex: int, start_data_vertex: int):
+        self.start_query_vertex = start_query_vertex
+        self.start_data_vertex = start_data_vertex
+        self._candidates: Dict[Tuple[int, int], List[int]] = {}
+        self._counts: Dict[int, int] = {}
+
+    def set(self, query_vertex: int, parent_data_vertex: int, candidates: List[int]) -> None:
+        """Record the candidate list for (query vertex, parent data vertex).
+
+        Idempotent: re-recording the same key (which happens when memoized
+        sub-explorations are reused) does not double-count the region size.
+        """
+        key = (query_vertex, parent_data_vertex)
+        if key in self._candidates:
+            return
+        self._candidates[key] = candidates
+        self._counts[query_vertex] = self._counts.get(query_vertex, 0) + len(candidates)
+
+    def get(self, query_vertex: int, parent_data_vertex: int) -> List[int]:
+        """Candidate list for (query vertex, parent data vertex)."""
+        return self._candidates.get((query_vertex, parent_data_vertex), [])
+
+    def count(self, query_vertex: int) -> int:
+        """Total number of candidate vertices recorded for a query vertex."""
+        return self._counts.get(query_vertex, 0)
+
+    def size(self) -> int:
+        """Total number of candidate vertices in the region (all query vertices)."""
+        return sum(self._counts.values())
+
+    def __bool__(self) -> bool:
+        return True
+
+
+def _edge_label_for_matching(edge_label: Optional[int]) -> Optional[int]:
+    """Map a query edge label to the adjacency look-up argument.
+
+    ``None`` (predicate variable) stays ``None`` = any edge label;
+    non-negative ids are used as-is; the IMPOSSIBLE sentinel (-1) is also
+    passed through, where it simply finds no adjacency group.
+    """
+    return edge_label
+
+
+def _child_candidates(
+    graph: LabeledGraph,
+    query: QueryGraph,
+    tree_edge: TreeEdge,
+    parent_data_vertex: int,
+) -> List[int]:
+    """Adjacent data vertices that satisfy the child's labels and ID attribute."""
+    child_vertex: QueryVertex = query.vertices[tree_edge.child]
+    labels: FrozenSet[int] = child_vertex.labels
+    candidates = graph.neighbors_by_type(
+        parent_data_vertex,
+        _edge_label_for_matching(tree_edge.edge.label),
+        labels,
+        outgoing=tree_edge.outgoing_from_parent,
+    )
+    if child_vertex.vertex_id is not None:
+        target = child_vertex.vertex_id
+        candidates = [v for v in candidates if v == target]
+    return candidates
+
+
+def explore_candidate_region(
+    graph: LabeledGraph,
+    query: QueryGraph,
+    tree: QueryTree,
+    config: MatchConfig,
+    start_data_vertex: int,
+    vertex_predicates: Optional[Dict[int, VertexPredicate]] = None,
+) -> Optional[CandidateRegion]:
+    """Explore the candidate region rooted at ``start_data_vertex``.
+
+    Returns ``None`` when the region is empty (some query vertex has no
+    candidate anywhere below the start vertex), matching the "if CR is not
+    empty" test of Algorithm 1.
+    """
+    predicates = vertex_predicates or {}
+    region = CandidateRegion(tree.root, start_data_vertex)
+    homomorphism = config.homomorphism
+    # Memoize (query vertex, parent data vertex) explorations — a data vertex
+    # reachable through several branches is expanded only once.  Injectivity
+    # is not enforced during exploration (it would make candidate lists
+    # path-dependent and lose solutions for the shared CR(u, v) structure);
+    # SubgraphSearch applies the injectivity test exhaustively.
+    memo: Dict[Tuple[int, int], Optional[List[int]]] = {}
+
+    def explore(query_vertex: int, data_vertex: int) -> bool:
+        """Explore all children of ``query_vertex`` below ``data_vertex``."""
+        for child in tree.children.get(query_vertex, []):
+            key = (child, data_vertex)
+            if key in memo:
+                cached = memo[key]
+                if cached is None:
+                    return False
+                region.set(child, data_vertex, cached)
+                continue
+            tree_edge = tree.tree_edges[child]
+            raw_candidates = _child_candidates(graph, query, tree_edge, data_vertex)
+            child_predicate = predicates.get(child)
+            valid: List[int] = []
+            for candidate in raw_candidates:
+                if child_predicate is not None and not child_predicate(candidate):
+                    continue
+                if (config.use_degree_filter or config.use_nlf_filter) and not passes_filters(
+                    graph,
+                    query,
+                    child,
+                    candidate,
+                    homomorphism,
+                    config.use_degree_filter,
+                    config.use_nlf_filter,
+                ):
+                    continue
+                if explore(child, candidate):
+                    valid.append(candidate)
+            memo[key] = valid if valid else None
+            if not valid:
+                return False
+            region.set(child, data_vertex, valid)
+        return True
+
+    if not explore(tree.root, start_data_vertex):
+        return None
+    return region

@@ -1,0 +1,134 @@
+"""Matching configuration: semantics switch plus the TurboHOM++ optimizations.
+
+A single :class:`MatchConfig` object parameterizes the matcher so that every
+variant the paper evaluates is one configuration away:
+
+==============================  =============================================
+Paper system                    Configuration
+==============================  =============================================
+TurboISO                        ``MatchConfig.isomorphism()``
+TurboHOM (direct transform)     ``MatchConfig.homomorphism_baseline()``
+TurboHOM++ (all optimizations)  ``MatchConfig.turbo_hom_pp()``
+TurboHOM++ minus one opt        ``MatchConfig.turbo_hom_pp().without("INT")``
+==============================  =============================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class MatchConfig:
+    """Switches controlling the matcher's semantics and optimizations."""
+
+    #: False → subgraph isomorphism (injective); True → graph homomorphism.
+    homomorphism: bool = True
+    #: ``+INT`` — bulk IsJoinable via k-way sorted intersection (Section 4.3).
+    use_intersection: bool = True
+    #: NLF filter during candidate-region exploration (``-NLF`` disables it).
+    use_nlf_filter: bool = False
+    #: degree filter during candidate-region exploration (``-DEG`` disables it).
+    use_degree_filter: bool = False
+    #: ``+REUSE`` — compute the matching order once and reuse it for every
+    #: candidate region.
+    reuse_matching_order: bool = True
+    #: Number of least-ranked query vertices whose candidate-region count is
+    #: estimated exactly in ChooseStartQueryVertex (top-k of Section 2.2).
+    start_vertex_top_k: int = 3
+    #: Optional cap on the number of reported solutions (None = unlimited).
+    max_results: Optional[int] = None
+
+    # ------------------------------------------------------------- factories
+    @classmethod
+    def isomorphism(cls) -> "MatchConfig":
+        """TurboISO: injective matching with the original filters enabled."""
+        return cls(
+            homomorphism=False,
+            use_intersection=False,
+            use_nlf_filter=True,
+            use_degree_filter=True,
+            reuse_matching_order=False,
+        )
+
+    @classmethod
+    def homomorphism_baseline(cls) -> "MatchConfig":
+        """TurboHOM: homomorphism semantics, no TurboHOM++ optimizations.
+
+        The filters stay enabled (in their homomorphism-adapted form) and the
+        matching order is recomputed per candidate region, exactly like the
+        direct modification of TurboISO described in Section 2.2.
+        """
+        return cls(
+            homomorphism=True,
+            use_intersection=False,
+            use_nlf_filter=True,
+            use_degree_filter=True,
+            reuse_matching_order=False,
+        )
+
+    @classmethod
+    def turbo_hom_pp(cls) -> "MatchConfig":
+        """TurboHOM++: homomorphism + all four optimizations (+INT, -NLF, -DEG, +REUSE)."""
+        return cls(
+            homomorphism=True,
+            use_intersection=True,
+            use_nlf_filter=False,
+            use_degree_filter=False,
+            reuse_matching_order=True,
+        )
+
+    # ------------------------------------------------------------ modifiers
+    def without(self, optimization: str) -> "MatchConfig":
+        """Return a copy with one named optimization disabled.
+
+        ``optimization`` is one of ``"INT"``, ``"NLF"``, ``"DEG"``,
+        ``"REUSE"`` — disabling ``"NLF"``/``"DEG"`` re-enables the filter
+        (i.e. undoes the ``-NLF`` / ``-DEG`` optimization).
+        """
+        key = optimization.upper().lstrip("+-")
+        if key == "INT":
+            return replace(self, use_intersection=False)
+        if key == "NLF":
+            return replace(self, use_nlf_filter=True)
+        if key == "DEG":
+            return replace(self, use_degree_filter=True)
+        if key == "REUSE":
+            return replace(self, reuse_matching_order=False)
+        raise ValueError(f"unknown optimization {optimization!r}")
+
+    def with_only(self, optimization: str) -> "MatchConfig":
+        """Return the no-optimization config with a single optimization enabled.
+
+        Used by the Figure 15 benchmark, which measures each optimization's
+        individual contribution on top of the unoptimized TurboHOM++.
+        """
+        base = MatchConfig(
+            homomorphism=True,
+            use_intersection=False,
+            use_nlf_filter=True,
+            use_degree_filter=True,
+            reuse_matching_order=False,
+        )
+        key = optimization.upper().lstrip("+-")
+        if key == "INT":
+            return replace(base, use_intersection=True)
+        if key == "NLF":
+            return replace(base, use_nlf_filter=False)
+        if key == "DEG":
+            return replace(base, use_degree_filter=False)
+        if key == "REUSE":
+            return replace(base, reuse_matching_order=True)
+        raise ValueError(f"unknown optimization {optimization!r}")
+
+    @classmethod
+    def no_optimizations(cls) -> "MatchConfig":
+        """TurboHOM++ on the type-aware graph but with every optimization off."""
+        return cls(
+            homomorphism=True,
+            use_intersection=False,
+            use_nlf_filter=True,
+            use_degree_filter=True,
+            reuse_matching_order=False,
+        )

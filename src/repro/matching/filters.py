@@ -1,0 +1,126 @@
+"""Degree and NLF (neighbourhood label frequency) filters.
+
+Both filters exist in two flavours (Section 2.2, "Modifying TurboISO for
+e-Graph Homomorphism"):
+
+* **isomorphism** — a data vertex must have at least as many neighbours as
+  the query vertex (degree filter), and, for every distinct neighbour type of
+  the query vertex, at least as many neighbours of that type (NLF filter),
+  because distinct query vertices must map to distinct data vertices.
+* **homomorphism** — several query vertices may share a data vertex, so the
+  requirements weaken to "at least as many neighbours as *distinct neighbour
+  types*" (degree) and "at least one neighbour per distinct neighbour type"
+  (NLF).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, FrozenSet, Tuple
+
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.query_graph import QueryGraph
+
+#: A neighbour type: (outgoing?, edge label, neighbour vertex label).
+NeighborType = Tuple[bool, object, object]
+
+
+def query_neighbor_types(query: QueryGraph, vertex: int) -> Counter:
+    """Count of *distinct query neighbours* per neighbour type.
+
+    A neighbour with several labels contributes one entry per label; an
+    unlabeled neighbour contributes a single ``(direction, edge label, None)``
+    entry.  Counting distinct neighbour vertices (rather than edges) keeps the
+    isomorphism NLF filter sound in the presence of duplicate query edges:
+    only distinct query vertices are forced onto distinct data vertices.
+    """
+    seen = set()
+    for edge in query.out_edges(vertex):
+        labels = query.vertices[edge.target].labels or frozenset((None,))
+        for label in labels:
+            seen.add((True, edge.label, label, edge.target))
+    for edge in query.in_edges(vertex):
+        labels = query.vertices[edge.source].labels or frozenset((None,))
+        for label in labels:
+            seen.add((False, edge.label, label, edge.source))
+    types: Counter = Counter()
+    for direction, edge_label, label, _neighbor in seen:
+        types[(direction, edge_label, label)] += 1
+    return types
+
+
+def _data_neighbor_count(
+    graph: LabeledGraph,
+    data_vertex: int,
+    neighbor_type: NeighborType,
+) -> int:
+    """Number of data neighbours matching one query neighbour type."""
+    outgoing, edge_label, vertex_label = neighbor_type
+    vertex_labels: FrozenSet[int] = (
+        frozenset((vertex_label,)) if vertex_label is not None else frozenset()
+    )
+    neighbours = graph.neighbors_by_type(
+        data_vertex,
+        edge_label if edge_label is not None else None,
+        vertex_labels,
+        outgoing=outgoing,
+    )
+    return len(neighbours)
+
+
+def degree_filter(
+    graph: LabeledGraph,
+    query: QueryGraph,
+    query_vertex: int,
+    data_vertex: int,
+    homomorphism: bool,
+) -> bool:
+    """Degree filter test.
+
+    Isomorphism: ``deg(v) >= deg(u)``.  Homomorphism: the data vertex must
+    have at least as many neighbours as the query vertex has *distinct
+    neighbour types*.
+    """
+    data_degree = graph.degree(data_vertex)
+    if homomorphism:
+        required = len(query_neighbor_types(query, query_vertex))
+    else:
+        required = query.degree(query_vertex)
+    return data_degree >= required
+
+
+def nlf_filter(
+    graph: LabeledGraph,
+    query: QueryGraph,
+    query_vertex: int,
+    data_vertex: int,
+    homomorphism: bool,
+) -> bool:
+    """Neighbourhood label frequency filter test.
+
+    Isomorphism: for every neighbour type the data vertex needs at least as
+    many neighbours as the query vertex.  Homomorphism: at least one.
+    """
+    required = query_neighbor_types(query, query_vertex)
+    for neighbor_type, count in required.items():
+        needed = 1 if homomorphism else count
+        if _data_neighbor_count(graph, data_vertex, neighbor_type) < needed:
+            return False
+    return True
+
+
+def passes_filters(
+    graph: LabeledGraph,
+    query: QueryGraph,
+    query_vertex: int,
+    data_vertex: int,
+    homomorphism: bool,
+    use_degree: bool,
+    use_nlf: bool,
+) -> bool:
+    """Combined filter test honouring the -DEG / -NLF optimization switches."""
+    if use_degree and not degree_filter(graph, query, query_vertex, data_vertex, homomorphism):
+        return False
+    if use_nlf and not nlf_filter(graph, query, query_vertex, data_vertex, homomorphism):
+        return False
+    return True

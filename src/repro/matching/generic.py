@@ -1,0 +1,108 @@
+"""Generic backtracking matcher (the framework of Section 2.2).
+
+This is the textbook backtracking algorithm every subgraph isomorphism
+method instantiates: extend a partial mapping one query vertex at a time,
+pruning candidates that violate label containment, edge existence, or (for
+isomorphism) injectivity.  It makes no use of candidate regions or matching
+order estimation, so it is intentionally slow — its roles here are
+
+* a *correctness oracle* for the TurboMatcher test-suite, and
+* the "unoptimized generic framework" reference point in the ablation
+  benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.query_graph import QueryGraph
+from repro.matching.config import MatchConfig
+
+Solution = List[int]
+
+
+class GenericMatcher:
+    """Plain backtracking subgraph matcher."""
+
+    def __init__(self, graph: LabeledGraph, config: Optional[MatchConfig] = None):
+        self.graph = graph
+        self.config = config if config is not None else MatchConfig.turbo_hom_pp()
+
+    def match(self, query: QueryGraph, max_results: Optional[int] = None) -> List[Solution]:
+        """Enumerate all solutions by naive backtracking."""
+        if query.vertex_count() == 0:
+            return [[]]
+        order = self._static_order(query)
+        solutions: List[Solution] = []
+        mapping: List[int] = [-1] * query.vertex_count()
+
+        def candidates_for(query_vertex: int) -> List[int]:
+            vertex = query.vertices[query_vertex]
+            if vertex.vertex_id is not None:
+                if 0 <= vertex.vertex_id < self.graph.vertex_count:
+                    return [vertex.vertex_id]
+                return []
+            if vertex.labels:
+                return self.graph.vertices_with_labels(vertex.labels)
+            return list(self.graph.vertices())
+
+        def consistent(query_vertex: int, data_vertex: int) -> bool:
+            vertex = query.vertices[query_vertex]
+            if vertex.labels and not vertex.labels <= self.graph.vertex_labels(data_vertex):
+                return False
+            if vertex.vertex_id is not None and vertex.vertex_id != data_vertex:
+                return False
+            if not self.config.homomorphism and data_vertex in mapping:
+                return False
+            for edge in query.out_edges(query_vertex):
+                target = mapping[edge.target] if edge.target != query_vertex else data_vertex
+                if target != -1 and not self.graph.has_edge(data_vertex, target, edge.label):
+                    return False
+            for edge in query.in_edges(query_vertex):
+                source = mapping[edge.source] if edge.source != query_vertex else data_vertex
+                if source != -1 and not self.graph.has_edge(source, data_vertex, edge.label):
+                    return False
+            return True
+
+        def recurse(depth: int) -> bool:
+            if depth == len(order):
+                solutions.append(list(mapping))
+                return max_results is None or len(solutions) < max_results
+            current = order[depth]
+            for candidate in candidates_for(current):
+                if not consistent(current, candidate):
+                    continue
+                mapping[current] = candidate
+                keep_going = recurse(depth + 1)
+                mapping[current] = -1
+                if not keep_going:
+                    return False
+            return True
+
+        recurse(0)
+        return solutions
+
+    def count(self, query: QueryGraph) -> int:
+        """Number of solutions."""
+        return len(self.match(query))
+
+    def _static_order(self, query: QueryGraph) -> List[int]:
+        """Connectivity-aware static order: most-constrained vertex first."""
+        def selectivity(vertex_index: int) -> int:
+            vertex = query.vertices[vertex_index]
+            if vertex.vertex_id is not None:
+                return 0
+            if vertex.labels:
+                return self.graph.label_frequency(vertex.labels)
+            return self.graph.vertex_count
+
+        remaining = set(range(query.vertex_count()))
+        order: List[int] = []
+        while remaining:
+            connected = [v for v in remaining if any(n in set(order) for n in query.neighbors(v))]
+            pool = connected if order and connected else list(remaining)
+            best = min(pool, key=selectivity)
+            order.append(best)
+            remaining.remove(best)
+        return order

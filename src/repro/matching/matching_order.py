@@ -1,0 +1,44 @@
+"""``DetermineMatchingOrder`` (Algorithm 1, line 11).
+
+Given a candidate region, every root-to-leaf query path of the query tree is
+scored by the number of candidate data vertices it touches in the region, and
+paths are processed in ascending order of that score.  The matching order is
+the concatenation of the paths' vertices with duplicates removed (the root
+first), which reproduces the paper's Figure 2 example: for ``CR(v0)`` the
+ordered path list is ``[u0.u3, u0.u1, u0.u2]`` giving the matching order
+``<u0, u3, u1, u2>``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.matching.candidate_region import CandidateRegion
+from repro.matching.query_tree import QueryTree
+
+
+def path_cardinality(region: CandidateRegion, path: List[int]) -> int:
+    """Number of candidate vertices a query path touches in the region."""
+    return sum(region.count(vertex) for vertex in path[1:])
+
+
+def determine_matching_order(tree: QueryTree, region: CandidateRegion) -> List[int]:
+    """Compute the matching order for one candidate region."""
+    scored_paths: List[Tuple[int, int, List[int]]] = []
+    for index, path in enumerate(tree.paths()):
+        scored_paths.append((path_cardinality(region, path), index, path))
+    scored_paths.sort(key=lambda item: (item[0], item[1]))
+
+    order: List[int] = [tree.root]
+    seen = {tree.root}
+    for _, _, path in scored_paths:
+        for vertex in path[1:]:
+            if vertex not in seen:
+                seen.add(vertex)
+                order.append(vertex)
+    return order
+
+
+def default_matching_order(tree: QueryTree) -> List[int]:
+    """BFS order fallback used when a query has no candidate region yet."""
+    return list(tree.bfs_order)

@@ -1,0 +1,114 @@
+"""Query tree construction (``WriteQueryTree`` of Algorithm 1).
+
+Starting from the chosen start query vertex, a breadth-first traversal of the
+query graph produces a spanning tree.  Each non-root vertex records the query
+edge connecting it to its parent (the *tree edge*); every other query edge is
+a *non-tree edge* and is verified later by ``IsJoinable`` during
+SubgraphSearch.  The tree also exposes the root-to-leaf *query paths* used by
+``DetermineMatchingOrder``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.graph.query_graph import QueryEdge, QueryGraph
+
+
+@dataclass
+class TreeEdge:
+    """The tree edge connecting a child query vertex to its parent.
+
+    ``outgoing_from_parent`` records the direction of the underlying query
+    edge: True when the edge goes parent → child in the query graph.
+    """
+
+    child: int
+    parent: int
+    edge: QueryEdge
+    outgoing_from_parent: bool
+
+
+@dataclass
+class QueryTree:
+    """BFS spanning tree of a (connected) query graph."""
+
+    root: int
+    parent: Dict[int, int] = field(default_factory=dict)
+    children: Dict[int, List[int]] = field(default_factory=dict)
+    tree_edges: Dict[int, TreeEdge] = field(default_factory=dict)
+    non_tree_edges: List[QueryEdge] = field(default_factory=list)
+    bfs_order: List[int] = field(default_factory=list)
+
+    def paths(self) -> List[List[int]]:
+        """Root-to-leaf query paths (each path includes the root)."""
+        leaves = [v for v in self.bfs_order if not self.children.get(v)]
+        if not leaves:
+            return [[self.root]]
+        result = []
+        for leaf in leaves:
+            path = [leaf]
+            while path[-1] != self.root:
+                path.append(self.parent[path[-1]])
+            result.append(list(reversed(path)))
+        return result
+
+    def non_tree_edges_of(self, vertex: int) -> List[QueryEdge]:
+        """Non-tree edges incident to a query vertex."""
+        return [
+            edge
+            for edge in self.non_tree_edges
+            if edge.source == vertex or edge.target == vertex
+        ]
+
+
+def write_query_tree(query: QueryGraph, start_vertex: int) -> QueryTree:
+    """Build the BFS query tree rooted at ``start_vertex``.
+
+    Parallel edges between the same vertex pair contribute one tree edge; the
+    rest become non-tree edges so their existence is still verified during
+    the search.
+    """
+    tree = QueryTree(root=start_vertex)
+    tree.children = {v: [] for v in range(query.vertex_count())}
+    visited = {start_vertex}
+    tree.bfs_order.append(start_vertex)
+    queue = deque([start_vertex])
+    used_edge_ids: set = set()
+
+    while queue:
+        current = queue.popleft()
+        # Deterministic child order: outgoing edges first, then incoming,
+        # both in declaration order.
+        for edge, outgoing in _incident_with_direction(query, current):
+            other = edge.target if outgoing else edge.source
+            edge_id = id(edge)
+            if other in visited:
+                continue
+            visited.add(other)
+            used_edge_ids.add(edge_id)
+            tree.parent[other] = current
+            tree.children[current].append(other)
+            tree.tree_edges[other] = TreeEdge(
+                child=other,
+                parent=current,
+                edge=edge,
+                outgoing_from_parent=outgoing,
+            )
+            tree.bfs_order.append(other)
+            queue.append(other)
+
+    tree.non_tree_edges = [edge for edge in query.edges if id(edge) not in used_edge_ids]
+    return tree
+
+
+def _incident_with_direction(query: QueryGraph, vertex: int) -> List[Tuple[QueryEdge, bool]]:
+    """Incident edges of a vertex annotated with 'is outgoing from vertex'."""
+    result: List[Tuple[QueryEdge, bool]] = []
+    for edge in query.out_edges(vertex):
+        result.append((edge, True))
+    for edge in query.in_edges(vertex):
+        result.append((edge, False))
+    return result

@@ -1,0 +1,129 @@
+"""``ChooseStartQueryVertex`` (Section 2.2 / 4.2).
+
+The start query vertex should have as few candidate regions as possible.
+Candidates are first ranked by ``rank(u) = freq(g, L(u)) / deg(u)`` (lower is
+better: rare labels, high degree); then, for the ``top_k`` least-ranked
+vertices, the number of candidate start vertices is estimated exactly by
+applying the degree / NLF filters, and the minimum wins.
+
+Special cases handled as in Section 4.2:
+
+* a query vertex with a concrete data vertex ID has frequency 1 (or 0 when
+  the id does not exist in the graph),
+* a query vertex with neither label nor ID uses the predicate index of an
+  incident labeled edge to estimate its frequency.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.query_graph import QueryGraph
+from repro.matching.config import MatchConfig
+from repro.matching.filters import passes_filters
+
+
+def candidate_start_vertices(
+    graph: LabeledGraph,
+    query: QueryGraph,
+    query_vertex: int,
+) -> List[int]:
+    """Data vertices that can start a candidate region for ``query_vertex``.
+
+    This applies the label containment test and the ID-attribute test, but
+    not the degree / NLF filters (those are applied by the caller so the
+    -NLF / -DEG optimizations remain observable).
+    """
+    vertex = query.vertices[query_vertex]
+    if vertex.vertex_id is not None:
+        if vertex.vertex_id < 0 or vertex.vertex_id >= graph.vertex_count:
+            return []
+        if vertex.labels and not vertex.labels <= graph.vertex_labels(vertex.vertex_id):
+            return []
+        return [vertex.vertex_id]
+    if vertex.labels:
+        return graph.vertices_with_labels(vertex.labels)
+    # No label, no ID: use the predicate index of an incident labeled edge.
+    best: Optional[List[int]] = None
+    for edge in query.out_edges(query_vertex):
+        if edge.label is not None and edge.label >= 0:
+            subjects = graph.predicate_subjects(edge.label)
+            if best is None or len(subjects) < len(best):
+                best = subjects
+    for edge in query.in_edges(query_vertex):
+        if edge.label is not None and edge.label >= 0:
+            objects = graph.predicate_objects(edge.label)
+            if best is None or len(objects) < len(best):
+                best = objects
+    if best is not None:
+        return list(best)
+    return list(graph.vertices())
+
+
+def estimate_frequency(graph: LabeledGraph, query: QueryGraph, query_vertex: int) -> int:
+    """``freq(g, L(u))`` with the ID-attribute and predicate-index special cases."""
+    vertex = query.vertices[query_vertex]
+    if vertex.vertex_id is not None:
+        if vertex.vertex_id < 0 or vertex.vertex_id >= graph.vertex_count:
+            return 0
+        if vertex.labels and not vertex.labels <= graph.vertex_labels(vertex.vertex_id):
+            return 0
+        return 1
+    if vertex.labels:
+        return graph.label_frequency(vertex.labels)
+    best: Optional[int] = None
+    for edge in query.out_edges(query_vertex):
+        if edge.label is not None and edge.label >= 0:
+            count = len(graph.predicate_subjects(edge.label))
+            best = count if best is None else min(best, count)
+    for edge in query.in_edges(query_vertex):
+        if edge.label is not None and edge.label >= 0:
+            count = len(graph.predicate_objects(edge.label))
+            best = count if best is None else min(best, count)
+    return best if best is not None else graph.vertex_count
+
+
+def choose_start_vertex(
+    graph: LabeledGraph,
+    query: QueryGraph,
+    config: MatchConfig,
+) -> Tuple[int, List[int]]:
+    """Pick the start query vertex and return it with its start data vertices.
+
+    Returns ``(query vertex index, candidate start data vertices)``.  The
+    candidate list already reflects the degree / NLF filters when they are
+    enabled by ``config``.
+    """
+    ranked: List[Tuple[float, int]] = []
+    for u in range(query.vertex_count()):
+        frequency = estimate_frequency(graph, query, u)
+        degree = max(1, query.degree(u))
+        ranked.append((frequency / degree, u))
+    ranked.sort()
+    top_k = [u for _, u in ranked[: max(1, config.start_vertex_top_k)]]
+
+    best_vertex = top_k[0]
+    best_candidates: Optional[List[int]] = None
+    for u in top_k:
+        candidates = candidate_start_vertices(graph, query, u)
+        if config.use_degree_filter or config.use_nlf_filter:
+            candidates = [
+                v
+                for v in candidates
+                if passes_filters(
+                    graph,
+                    query,
+                    u,
+                    v,
+                    config.homomorphism,
+                    config.use_degree_filter,
+                    config.use_nlf_filter,
+                )
+            ]
+        if best_candidates is None or len(candidates) < len(best_candidates):
+            best_vertex = u
+            best_candidates = candidates
+            if not candidates:
+                break
+    return best_vertex, best_candidates if best_candidates is not None else []

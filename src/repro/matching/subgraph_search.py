@@ -1,0 +1,183 @@
+"""``SubgraphSearch`` and ``IsJoinable`` (Algorithm 2) with the ``+INT`` optimization.
+
+The search walks the matching order; at each step the candidate set comes
+from the candidate region keyed by the parent's matched data vertex, and
+non-tree edges to already-matched query vertices are verified:
+
+* **original IsJoinable** — for each candidate, each non-tree edge is tested
+  with a binary-search membership probe (``use_intersection=False``),
+* **+INT** — the candidate list is intersected in bulk with the adjacency
+  lists of the already-matched endpoints, one k-way sorted intersection per
+  step instead of per-candidate probes (Section 4.3).
+
+The injectivity test (line 4–6 of Algorithm 2) is applied only under
+isomorphism semantics; removing it is exactly the modification that turns
+TurboISO into TurboHOM (Section 2.2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.query_graph import QueryEdge, QueryGraph
+from repro.matching.candidate_region import CandidateRegion
+from repro.matching.config import MatchConfig
+from repro.matching.query_tree import QueryTree
+from repro.utils.intersect import intersect_many
+
+#: Called with the complete mapping (query vertex index -> data vertex id);
+#: returns False to stop the search early (e.g. when max_results is reached).
+SolutionCallback = Callable[[List[int]], bool]
+
+
+class SearchStatistics:
+    """Counters exposed for profiling and the ablation benchmarks."""
+
+    def __init__(self) -> None:
+        self.recursions = 0
+        self.joinable_probes = 0
+        self.intersection_calls = 0
+        self.solutions = 0
+
+    def merge(self, other: "SearchStatistics") -> None:
+        """Accumulate counters from another statistics object."""
+        self.recursions += other.recursions
+        self.joinable_probes += other.joinable_probes
+        self.intersection_calls += other.intersection_calls
+        self.solutions += other.solutions
+
+
+def _non_tree_edges_by_vertex(
+    query: QueryGraph, tree: QueryTree, order: Sequence[int]
+) -> Dict[int, List[QueryEdge]]:
+    """Non-tree edges grouped by the vertex matched *later* in the order.
+
+    Each non-tree edge must be checked exactly once — at the moment its
+    second endpoint is bound.  Grouping by the later endpoint guarantees the
+    other endpoint is already matched at check time.
+    """
+    position = {vertex: index for index, vertex in enumerate(order)}
+    grouped: Dict[int, List[QueryEdge]] = {vertex: [] for vertex in order}
+    for edge in tree.non_tree_edges:
+        later = edge.source if position[edge.source] >= position[edge.target] else edge.target
+        grouped[later].append(edge)
+    return grouped
+
+
+def _adjacency_for_edge(
+    graph: LabeledGraph, edge: QueryEdge, current: int, mapping: List[int]
+) -> List[int]:
+    """Data vertices that can be matched to ``current`` so that ``edge`` exists.
+
+    ``edge`` connects ``current`` to an already-matched query vertex; the
+    returned (sorted) list contains the data vertices adjacent to the matched
+    endpoint in the direction required by the edge.
+    """
+    if edge.source == current:
+        matched = mapping[edge.target]
+        return graph.in_neighbors(matched, edge.label)
+    matched = mapping[edge.source]
+    return graph.out_neighbors(matched, edge.label)
+
+
+def _is_joinable(
+    graph: LabeledGraph,
+    edges: Sequence[QueryEdge],
+    current: int,
+    candidate: int,
+    mapping: List[int],
+    stats: SearchStatistics,
+) -> bool:
+    """Original IsJoinable: membership probe per non-tree edge."""
+    for edge in edges:
+        stats.joinable_probes += 1
+        if edge.source == edge.target:
+            # Self-loop pattern (?x p ?x): the candidate must have the loop.
+            if not graph.has_edge(candidate, candidate, edge.label):
+                return False
+        elif edge.source == current:
+            if not graph.has_edge(candidate, mapping[edge.target], edge.label):
+                return False
+        else:
+            if not graph.has_edge(mapping[edge.source], candidate, edge.label):
+                return False
+    return True
+
+
+def subgraph_search(
+    graph: LabeledGraph,
+    query: QueryGraph,
+    tree: QueryTree,
+    region: CandidateRegion,
+    order: Sequence[int],
+    config: MatchConfig,
+    on_solution: SolutionCallback,
+    stats: Optional[SearchStatistics] = None,
+) -> bool:
+    """Enumerate all mappings for one candidate region.
+
+    ``order[0]`` must be the tree root, already bound to the region's start
+    data vertex.  Returns False when the callback requested an early stop.
+    """
+    stats = stats if stats is not None else SearchStatistics()
+    vertex_count = query.vertex_count()
+    mapping: List[int] = [-1] * vertex_count
+    mapping[tree.root] = region.start_data_vertex
+    used: Dict[int, int] = {}
+    if not config.homomorphism:
+        used[region.start_data_vertex] = 1
+
+    non_tree = _non_tree_edges_by_vertex(query, tree, order)
+    total_depth = len(order)
+
+    # Non-tree edges grouped at the root can only be self-loops (every other
+    # vertex comes later in the order); verify them against the start vertex
+    # before the search begins.
+    for edge in non_tree.get(order[0], []):
+        stats.joinable_probes += 1
+        if not graph.has_edge(region.start_data_vertex, region.start_data_vertex, edge.label):
+            return True
+
+    def recurse(depth: int) -> bool:
+        stats.recursions += 1
+        if depth == total_depth:
+            stats.solutions += 1
+            return on_solution(list(mapping))
+        current = order[depth]
+        parent = tree.parent[current]
+        candidates = region.get(current, mapping[parent])
+        check_edges = non_tree.get(current, [])
+
+        if config.use_intersection and check_edges:
+            # +INT: one bulk intersection for all non-tree edges of this step.
+            # Self-loop edges cannot be expressed as a fixed adjacency list,
+            # so they stay on the per-candidate probe path.
+            bulk_edges = [e for e in check_edges if e.source != e.target]
+            check_edges = [e for e in check_edges if e.source == e.target]
+            if bulk_edges:
+                stats.intersection_calls += 1
+                lists: List[Sequence[int]] = [candidates]
+                for edge in bulk_edges:
+                    lists.append(_adjacency_for_edge(graph, edge, current, mapping))
+                candidates = intersect_many(lists)
+
+        for candidate in candidates:
+            if not config.homomorphism and used.get(candidate):
+                continue
+            if check_edges and not _is_joinable(
+                graph, check_edges, current, candidate, mapping, stats
+            ):
+                continue
+            mapping[current] = candidate
+            if not config.homomorphism:
+                used[candidate] = used.get(candidate, 0) + 1
+            keep_going = recurse(depth + 1)
+            mapping[current] = -1
+            if not config.homomorphism:
+                used[candidate] -= 1
+            if not keep_going:
+                return False
+        return True
+
+    return recurse(1)

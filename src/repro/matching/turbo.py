@@ -1,0 +1,187 @@
+"""The TurboISO / TurboHOM / TurboHOM++ matcher (Algorithm 1 driver).
+
+:class:`TurboMatcher` ties together start-vertex selection, query-tree
+construction, candidate-region exploration, matching-order determination and
+subgraph search.  Its behaviour (isomorphism vs homomorphism, which
+optimizations are active) is entirely determined by the
+:class:`~repro.matching.config.MatchConfig` it is constructed with, so the
+paper's systems are just three factory functions:
+
+* :func:`turbo_iso` — subgraph isomorphism (TurboISO),
+* :func:`turbo_hom` — e-graph homomorphism without the TurboHOM++
+  optimizations (the "direct modification" of Section 2.2),
+* :func:`turbo_hom_pp` — e-graph homomorphism with +INT, -NLF, -DEG, +REUSE.
+
+The matcher operates on vertex mappings only; edge-label mappings for
+predicate variables (the ``Me`` of Definition 2) are enumerated by the
+caller via :meth:`LabeledGraph.edge_labels_between`, which keeps the hot
+search loop free of per-edge bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
+
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.query_graph import QueryGraph
+from repro.matching.candidate_region import (
+    CandidateRegion,
+    VertexPredicate,
+    explore_candidate_region,
+)
+from repro.matching.config import MatchConfig
+from repro.matching.filters import passes_filters
+from repro.matching.matching_order import determine_matching_order
+from repro.matching.query_tree import QueryTree, write_query_tree
+from repro.matching.start_vertex import candidate_start_vertices, choose_start_vertex
+from repro.matching.subgraph_search import SearchStatistics, subgraph_search
+
+#: A solution maps query vertex index -> data vertex id.
+Solution = List[int]
+
+
+@dataclass
+class MatchStatistics:
+    """Aggregated profiling counters for one match call."""
+
+    start_vertices: int = 0
+    candidate_regions: int = 0
+    region_vertices: int = 0
+    solutions: int = 0
+    search: SearchStatistics = field(default_factory=SearchStatistics)
+
+
+class TurboMatcher:
+    """Candidate-region subgraph matcher over a :class:`LabeledGraph`."""
+
+    def __init__(self, graph: LabeledGraph, config: Optional[MatchConfig] = None):
+        self.graph = graph
+        self.config = config if config is not None else MatchConfig.turbo_hom_pp()
+        self.last_statistics = MatchStatistics()
+
+    # -------------------------------------------------------------- main API
+    def match(
+        self,
+        query: QueryGraph,
+        vertex_predicates: Optional[Dict[int, VertexPredicate]] = None,
+        max_results: Optional[int] = None,
+    ) -> List[Solution]:
+        """Return all vertex mappings of ``query`` in the data graph."""
+        solutions: List[Solution] = []
+        limit = max_results if max_results is not None else self.config.max_results
+
+        def collect(mapping: Solution) -> bool:
+            solutions.append(mapping)
+            return limit is None or len(solutions) < limit
+
+        self.match_with_callback(query, collect, vertex_predicates)
+        return solutions
+
+    def count(self, query: QueryGraph, vertex_predicates=None) -> int:
+        """Count solutions without materializing them."""
+        counter = [0]
+
+        def count_one(_: Solution) -> bool:
+            counter[0] += 1
+            return True
+
+        self.match_with_callback(query, count_one, vertex_predicates)
+        return counter[0]
+
+    def match_with_callback(
+        self,
+        query: QueryGraph,
+        on_solution: Callable[[Solution], bool],
+        vertex_predicates: Optional[Dict[int, VertexPredicate]] = None,
+    ) -> MatchStatistics:
+        """Enumerate solutions through a callback (return False to stop)."""
+        stats = MatchStatistics()
+        self.last_statistics = stats
+        predicates = vertex_predicates or {}
+
+        if query.vertex_count() == 0:
+            on_solution([])
+            return stats
+        if not query.is_connected():
+            raise ValueError(
+                "TurboMatcher requires a connected query graph; split disconnected "
+                "patterns into components (the engine layer does this automatically)"
+            )
+        if query.vertex_count() == 1 and query.edge_count() == 0:
+            self._match_single_vertex(query, on_solution, predicates, stats)
+            return stats
+
+        start_vertex, start_candidates = choose_start_vertex(self.graph, query, self.config)
+        root_predicate = predicates.get(start_vertex)
+        tree = write_query_tree(query, start_vertex)
+        stats.start_vertices = len(start_candidates)
+
+        reused_order: Optional[List[int]] = None
+        for start_data_vertex in start_candidates:
+            if root_predicate is not None and not root_predicate(start_data_vertex):
+                continue
+            region = explore_candidate_region(
+                self.graph, query, tree, self.config, start_data_vertex, predicates
+            )
+            if region is None:
+                continue
+            stats.candidate_regions += 1
+            stats.region_vertices += region.size()
+            if self.config.reuse_matching_order:
+                if reused_order is None:
+                    reused_order = determine_matching_order(tree, region)
+                order = reused_order
+            else:
+                order = determine_matching_order(tree, region)
+            keep_going = subgraph_search(
+                self.graph, query, tree, region, order, self.config, on_solution, stats.search
+            )
+            if not keep_going:
+                break
+        stats.solutions = stats.search.solutions
+        return stats
+
+    # ---------------------------------------------------------- special case
+    def _match_single_vertex(
+        self,
+        query: QueryGraph,
+        on_solution: Callable[[Solution], bool],
+        predicates: Dict[int, VertexPredicate],
+        stats: MatchStatistics,
+    ) -> None:
+        """Algorithm 1, lines 2–4: queries with a single vertex and no edge."""
+        candidates = candidate_start_vertices(self.graph, query, 0)
+        predicate = predicates.get(0)
+        for data_vertex in candidates:
+            if predicate is not None and not predicate(data_vertex):
+                continue
+            if (self.config.use_degree_filter or self.config.use_nlf_filter) and not passes_filters(
+                self.graph,
+                query,
+                0,
+                data_vertex,
+                self.config.homomorphism,
+                self.config.use_degree_filter,
+                self.config.use_nlf_filter,
+            ):
+                continue
+            stats.solutions += 1
+            if not on_solution([data_vertex]):
+                return
+
+
+# ---------------------------------------------------------------- factories
+def turbo_iso(graph: LabeledGraph) -> TurboMatcher:
+    """TurboISO: subgraph isomorphism with the original filters."""
+    return TurboMatcher(graph, MatchConfig.isomorphism())
+
+
+def turbo_hom(graph: LabeledGraph) -> TurboMatcher:
+    """TurboHOM: e-graph homomorphism, no TurboHOM++ optimizations."""
+    return TurboMatcher(graph, MatchConfig.homomorphism_baseline())
+
+
+def turbo_hom_pp(graph: LabeledGraph, config: Optional[MatchConfig] = None) -> TurboMatcher:
+    """TurboHOM++: e-graph homomorphism with all four optimizations."""
+    return TurboMatcher(graph, config if config is not None else MatchConfig.turbo_hom_pp())

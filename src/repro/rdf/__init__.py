@@ -1,0 +1,28 @@
+"""RDF substrate: data model, parsers, dictionary encoding, triple store, inference."""
+
+from repro.rdf.terms import IRI, Literal, BlankNode, Triple, Term
+from repro.rdf.namespaces import Namespace, RDF, RDFS, XSD
+from repro.rdf.dictionary import Dictionary
+from repro.rdf.store import TripleStore
+from repro.rdf.ntriples import parse_ntriples, serialize_ntriples
+from repro.rdf.turtle import parse_turtle
+from repro.rdf.inference import RDFSInferencer, Ontology
+
+__all__ = [
+    "IRI",
+    "Literal",
+    "BlankNode",
+    "Triple",
+    "Term",
+    "Namespace",
+    "RDF",
+    "RDFS",
+    "XSD",
+    "Dictionary",
+    "TripleStore",
+    "parse_ntriples",
+    "serialize_ntriples",
+    "parse_turtle",
+    "RDFSInferencer",
+    "Ontology",
+]

@@ -1,0 +1,229 @@
+"""RDFS-style inference (materialization of entailed triples).
+
+The LUBM and BSBM benchmarks are run against *original plus inferred*
+triples (Section 7.1: "In order to obtain inferred triples, we use the
+state-of-the-art RDF inference engine").  This module provides that
+substrate: an :class:`Ontology` holding the schema (subclass / subproperty
+hierarchies, domains, ranges, inverse properties) and an
+:class:`RDFSInferencer` that materializes the entailed triples:
+
+* ``rdfs9``  — ``(x rdf:type C)`` and ``C subClassOf D``  ⇒ ``(x rdf:type D)``
+* ``rdfs7``  — ``(x P y)`` and ``P subPropertyOf Q``        ⇒ ``(x Q y)``
+* ``rdfs2``  — ``(x P y)`` and ``P domain C``               ⇒ ``(x rdf:type C)``
+* ``rdfs3``  — ``(x P y)`` and ``P range C``                ⇒ ``(y rdf:type C)``
+* ``inverse``— ``(x P y)`` and ``P inverseOf Q``            ⇒ ``(y Q x)``
+
+The transitive closures of subClassOf / subPropertyOf are computed once on
+the ontology, so the materialization is a single pass over the data.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Set, Tuple
+
+from repro.rdf.namespaces import OWL, RDF, RDFS
+from repro.rdf.terms import IRI, Literal, Triple
+
+
+def _transitive_closure(edges: Dict[IRI, Set[IRI]]) -> Dict[IRI, Set[IRI]]:
+    """Compute the transitive closure of a sparse relation (DFS per node)."""
+    closure: Dict[IRI, Set[IRI]] = {}
+    for start in edges:
+        seen: Set[IRI] = set()
+        stack = list(edges.get(start, ()))
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(edges.get(node, ()))
+        closure[start] = seen
+    return closure
+
+
+class Ontology:
+    """Schema-level knowledge: class and property hierarchies.
+
+    Instances are usually built either programmatically (benchmark
+    generators) or from schema triples via :meth:`from_triples`.
+    """
+
+    def __init__(self) -> None:
+        self._subclass: Dict[IRI, Set[IRI]] = defaultdict(set)
+        self._subproperty: Dict[IRI, Set[IRI]] = defaultdict(set)
+        self._domain: Dict[IRI, Set[IRI]] = defaultdict(set)
+        self._range: Dict[IRI, Set[IRI]] = defaultdict(set)
+        self._inverse: Dict[IRI, Set[IRI]] = defaultdict(set)
+        self._subclass_closure: Dict[IRI, Set[IRI]] = {}
+        self._subproperty_closure: Dict[IRI, Set[IRI]] = {}
+        self._dirty = True
+
+    # ------------------------------------------------------------ declaration
+    def add_subclass(self, child: IRI, parent: IRI) -> None:
+        """Declare ``child rdfs:subClassOf parent``."""
+        self._subclass[child].add(parent)
+        self._dirty = True
+
+    def add_subproperty(self, child: IRI, parent: IRI) -> None:
+        """Declare ``child rdfs:subPropertyOf parent``."""
+        self._subproperty[child].add(parent)
+        self._dirty = True
+
+    def add_domain(self, prop: IRI, cls: IRI) -> None:
+        """Declare ``prop rdfs:domain cls``."""
+        self._domain[prop].add(cls)
+        self._dirty = True
+
+    def add_range(self, prop: IRI, cls: IRI) -> None:
+        """Declare ``prop rdfs:range cls``."""
+        self._range[prop].add(cls)
+        self._dirty = True
+
+    def add_inverse(self, prop: IRI, inverse: IRI) -> None:
+        """Declare ``prop owl:inverseOf inverse`` (symmetrically)."""
+        self._inverse[prop].add(inverse)
+        self._inverse[inverse].add(prop)
+        self._dirty = True
+
+    @classmethod
+    def from_triples(cls, triples: Iterable[Triple]) -> "Ontology":
+        """Extract the schema statements from a triple stream."""
+        ontology = cls()
+        for s, p, o in triples:
+            if p == RDFS.subClassOf and isinstance(s, IRI) and isinstance(o, IRI):
+                ontology.add_subclass(s, o)
+            elif p == RDFS.subPropertyOf and isinstance(s, IRI) and isinstance(o, IRI):
+                ontology.add_subproperty(s, o)
+            elif p == RDFS.domain and isinstance(s, IRI) and isinstance(o, IRI):
+                ontology.add_domain(s, o)
+            elif p == RDFS.range and isinstance(s, IRI) and isinstance(o, IRI):
+                ontology.add_range(s, o)
+            elif p == OWL.inverseOf and isinstance(s, IRI) and isinstance(o, IRI):
+                ontology.add_inverse(s, o)
+        return ontology
+
+    # ---------------------------------------------------------------- queries
+    def _ensure_closures(self) -> None:
+        if self._dirty:
+            self._subclass_closure = _transitive_closure(self._subclass)
+            self._subproperty_closure = _transitive_closure(self._subproperty)
+            self._dirty = False
+
+    def superclasses(self, cls: IRI) -> FrozenSet[IRI]:
+        """All (transitive) superclasses of a class, excluding the class itself."""
+        self._ensure_closures()
+        return frozenset(self._subclass_closure.get(cls, set()))
+
+    def superproperties(self, prop: IRI) -> FrozenSet[IRI]:
+        """All (transitive) superproperties of a property."""
+        self._ensure_closures()
+        return frozenset(self._subproperty_closure.get(prop, set()))
+
+    def subclasses(self, cls: IRI) -> FrozenSet[IRI]:
+        """All (transitive) subclasses of a class, excluding the class itself."""
+        self._ensure_closures()
+        return frozenset(
+            child for child, parents in self._subclass_closure.items() if cls in parents
+        )
+
+    def domains(self, prop: IRI) -> FrozenSet[IRI]:
+        """Declared domains of a property."""
+        return frozenset(self._domain.get(prop, set()))
+
+    def ranges(self, prop: IRI) -> FrozenSet[IRI]:
+        """Declared ranges of a property."""
+        return frozenset(self._range.get(prop, set()))
+
+    def inverses(self, prop: IRI) -> FrozenSet[IRI]:
+        """Declared inverse properties of a property."""
+        return frozenset(self._inverse.get(prop, set()))
+
+    def schema_triples(self) -> Iterator[Triple]:
+        """Serialize the ontology as schema triples."""
+        for child, parents in sorted(self._subclass.items()):
+            for parent in sorted(parents):
+                yield Triple(child, RDFS.subClassOf, parent)
+        for child, parents in sorted(self._subproperty.items()):
+            for parent in sorted(parents):
+                yield Triple(child, RDFS.subPropertyOf, parent)
+        for prop, classes in sorted(self._domain.items()):
+            for cls in sorted(classes):
+                yield Triple(prop, RDFS.domain, cls)
+        for prop, classes in sorted(self._range.items()):
+            for cls in sorted(classes):
+                yield Triple(prop, RDFS.range, cls)
+        for prop, inverses in sorted(self._inverse.items()):
+            for inverse in sorted(inverses):
+                yield Triple(prop, OWL.inverseOf, inverse)
+
+    @property
+    def classes(self) -> Set[IRI]:
+        """All classes mentioned in subclass axioms."""
+        result: Set[IRI] = set(self._subclass)
+        for parents in self._subclass.values():
+            result.update(parents)
+        return result
+
+
+class RDFSInferencer:
+    """Materializes RDFS (+ inverseOf) entailments over a triple stream.
+
+    Materialization runs to a fixpoint so that rule chains compose — e.g.
+    ``undergraduateDegreeFrom ⊑ degreeFrom`` followed by
+    ``degreeFrom owl:inverseOf hasAlumnus`` yields ``hasAlumnus`` triples, the
+    chain LUBM query 13 relies on.
+    """
+
+    def __init__(self, ontology: Ontology):
+        self.ontology = ontology
+
+    def _direct_consequences(self, triple: Triple) -> List[Triple]:
+        """One application of every rule to a single triple."""
+        ontology = self.ontology
+        s, p, o = triple
+        derived: List[Triple] = []
+        if p == RDF.type:
+            for parent in ontology.superclasses(o):  # type: ignore[arg-type]
+                derived.append(Triple(s, RDF.type, parent))
+            return derived
+        for super_prop in ontology.superproperties(p):
+            derived.append(Triple(s, super_prop, o))
+        object_is_literal = isinstance(o, Literal)
+        for inverse in ontology.inverses(p):
+            if not object_is_literal:
+                derived.append(Triple(o, inverse, s))  # type: ignore[arg-type]
+        for cls in ontology.domains(p):
+            derived.append(Triple(s, RDF.type, cls))
+        for cls in ontology.ranges(p):
+            if not object_is_literal:
+                derived.append(Triple(o, RDF.type, cls))  # type: ignore[arg-type]
+        return derived
+
+    def infer(self, triples: Iterable[Triple]) -> Iterator[Triple]:
+        """Yield the original triples followed by newly entailed ones.
+
+        Duplicates are suppressed, so the output is a set-like stream that can
+        be loaded directly into a :class:`~repro.rdf.store.TripleStore`.
+        """
+        seen: Set[Triple] = set()
+        frontier: List[Triple] = []
+        for triple in triples:
+            if triple not in seen:
+                seen.add(triple)
+                frontier.append(triple)
+                yield triple
+        # Semi-naive fixpoint: only newly derived triples are re-expanded.
+        while frontier:
+            next_frontier: List[Triple] = []
+            for triple in frontier:
+                for derived in self._direct_consequences(triple):
+                    if derived not in seen:
+                        seen.add(derived)
+                        next_frontier.append(derived)
+                        yield derived
+            frontier = next_frontier
+
+    def materialize(self, triples: Iterable[Triple]) -> List[Triple]:
+        """Eagerly compute the entailed triple list."""
+        return list(self.infer(triples))

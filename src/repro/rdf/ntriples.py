@@ -1,0 +1,173 @@
+"""N-Triples parser and serializer.
+
+N-Triples is the line-oriented RDF serialization used by the benchmark
+datasets (LUBM, BTC).  The parser is a hand-rolled scanner that handles the
+full term grammar we need: IRIs, blank nodes, and literals with escapes,
+language tags, and datatypes.  Comments (``#``) and blank lines are skipped.
+"""
+
+from __future__ import annotations
+
+from typing import IO, Iterable, Iterator, List, Union
+
+from repro.exceptions import RDFSyntaxError
+from repro.rdf.terms import BlankNode, IRI, Literal, Term, Triple
+
+_ESCAPES = {
+    "t": "\t",
+    "n": "\n",
+    "r": "\r",
+    '"': '"',
+    "\\": "\\",
+}
+
+
+def _unescape(text: str, line_no: int) -> str:
+    """Resolve N-Triples string escapes including \\uXXXX / \\UXXXXXXXX."""
+    if "\\" not in text:
+        return text
+    out: List[str] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch != "\\":
+            out.append(ch)
+            i += 1
+            continue
+        if i + 1 >= n:
+            raise RDFSyntaxError("dangling escape", line_no)
+        nxt = text[i + 1]
+        if nxt in _ESCAPES:
+            out.append(_ESCAPES[nxt])
+            i += 2
+        elif nxt == "u":
+            out.append(chr(int(text[i + 2:i + 6], 16)))
+            i += 6
+        elif nxt == "U":
+            out.append(chr(int(text[i + 2:i + 10], 16)))
+            i += 10
+        else:
+            raise RDFSyntaxError(f"unknown escape \\{nxt}", line_no)
+    return "".join(out)
+
+
+class _LineScanner:
+    """Scanner over one N-Triples line."""
+
+    def __init__(self, line: str, line_no: int):
+        self.line = line
+        self.pos = 0
+        self.line_no = line_no
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.line) and self.line[self.pos] in " \t":
+            self.pos += 1
+
+    def at_end(self) -> bool:
+        self.skip_ws()
+        return self.pos >= len(self.line)
+
+    def expect(self, ch: str) -> None:
+        self.skip_ws()
+        if self.pos >= len(self.line) or self.line[self.pos] != ch:
+            raise RDFSyntaxError(f"expected {ch!r}", self.line_no)
+        self.pos += 1
+
+    def read_term(self) -> Term:
+        """Read the next IRI, blank node, or literal."""
+        self.skip_ws()
+        if self.pos >= len(self.line):
+            raise RDFSyntaxError("unexpected end of line", self.line_no)
+        ch = self.line[self.pos]
+        if ch == "<":
+            return self._read_iri()
+        if ch == "_":
+            return self._read_bnode()
+        if ch == '"':
+            return self._read_literal()
+        raise RDFSyntaxError(f"unexpected character {ch!r}", self.line_no)
+
+    def _read_iri(self) -> IRI:
+        end = self.line.find(">", self.pos + 1)
+        if end < 0:
+            raise RDFSyntaxError("unterminated IRI", self.line_no)
+        value = self.line[self.pos + 1:end]
+        self.pos = end + 1
+        return IRI(_unescape(value, self.line_no))
+
+    def _read_bnode(self) -> BlankNode:
+        if not self.line.startswith("_:", self.pos):
+            raise RDFSyntaxError("malformed blank node", self.line_no)
+        start = self.pos + 2
+        end = start
+        while end < len(self.line) and self.line[end] not in " \t.":
+            end += 1
+        self.pos = end
+        return BlankNode(self.line[start:end])
+
+    def _read_literal(self) -> Literal:
+        # Find the closing quote, respecting escapes.
+        i = self.pos + 1
+        while i < len(self.line):
+            if self.line[i] == "\\":
+                i += 2
+                continue
+            if self.line[i] == '"':
+                break
+            i += 1
+        else:
+            raise RDFSyntaxError("unterminated literal", self.line_no)
+        lexical = _unescape(self.line[self.pos + 1:i], self.line_no)
+        self.pos = i + 1
+        language = None
+        datatype = None
+        if self.pos < len(self.line) and self.line[self.pos] == "@":
+            start = self.pos + 1
+            end = start
+            while end < len(self.line) and (self.line[end].isalnum() or self.line[end] == "-"):
+                end += 1
+            language = self.line[start:end]
+            self.pos = end
+        elif self.line.startswith("^^", self.pos):
+            self.pos += 2
+            datatype = self._read_iri()
+        return Literal(lexical, datatype, language)
+
+
+def parse_ntriples_line(line: str, line_no: int = 0) -> Union[Triple, None]:
+    """Parse a single N-Triples line; returns None for blank/comment lines."""
+    stripped = line.strip()
+    if not stripped or stripped.startswith("#"):
+        return None
+    scanner = _LineScanner(stripped, line_no)
+    subject = scanner.read_term()
+    if isinstance(subject, Literal):
+        raise RDFSyntaxError("literal in subject position", line_no)
+    predicate = scanner.read_term()
+    if not isinstance(predicate, IRI):
+        raise RDFSyntaxError("predicate must be an IRI", line_no)
+    obj = scanner.read_term()
+    scanner.expect(".")
+    if not scanner.at_end():
+        raise RDFSyntaxError("trailing content after '.'", line_no)
+    return Triple(subject, predicate, obj)
+
+
+def parse_ntriples(source: Union[str, IO[str], Iterable[str]]) -> Iterator[Triple]:
+    """Parse N-Triples from a string, file object, or iterable of lines."""
+    if isinstance(source, str):
+        # Split on newlines only: str.splitlines() would also split on exotic
+        # Unicode line separators that may legitimately occur inside literals.
+        lines: Iterable[str] = source.split("\n")
+    else:
+        lines = source
+    for line_no, line in enumerate(lines, start=1):
+        triple = parse_ntriples_line(line, line_no)
+        if triple is not None:
+            yield triple
+
+
+def serialize_ntriples(triples: Iterable[Triple]) -> str:
+    """Serialize triples to an N-Triples string."""
+    return "".join(f"{triple.n3()} .\n" for triple in triples)

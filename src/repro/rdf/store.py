@@ -1,0 +1,159 @@
+"""In-memory triple store over dictionary-encoded ids.
+
+The :class:`TripleStore` is the shared substrate every engine loads from: it
+keeps the encoded triples plus SPO / POS / OSP hash indexes for pattern
+look-ups.  Baseline engines build their own specialized index structures from
+``store.triples``; the TurboHOM/TurboHOM++ engines build labeled graphs via
+:mod:`repro.graph.transform`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.rdf.dictionary import Dictionary
+from repro.rdf.terms import Triple
+
+EncodedTriple = Tuple[int, int, int]
+
+
+class TripleStore:
+    """A set of dictionary-encoded triples with basic pattern indexes."""
+
+    def __init__(self, dictionary: Optional[Dictionary] = None):
+        self.dictionary = dictionary if dictionary is not None else Dictionary()
+        self._triples: Set[EncodedTriple] = set()
+        # spo: s -> p -> sorted list of o (lists built lazily on freeze)
+        self._spo: Dict[int, Dict[int, List[int]]] = defaultdict(dict)
+        self._pos: Dict[int, Dict[int, List[int]]] = defaultdict(dict)
+        self._osp: Dict[int, Dict[int, List[int]]] = defaultdict(dict)
+        self._dirty = False
+
+    # ---------------------------------------------------------------- loading
+    def add(self, triple: Triple) -> bool:
+        """Add an RDF triple; returns False if it was already present."""
+        return self.add_encoded(self.dictionary.encode_triple(triple))
+
+    def add_encoded(self, encoded: EncodedTriple) -> bool:
+        """Add an already-encoded ``(s, p, o)`` triple."""
+        if encoded in self._triples:
+            return False
+        self._triples.add(encoded)
+        s, p, o = encoded
+        self._spo[s].setdefault(p, []).append(o)
+        self._pos[p].setdefault(o, []).append(s)
+        self._osp[o].setdefault(s, []).append(p)
+        self._dirty = True
+        return True
+
+    def load(self, triples: Iterable[Triple]) -> int:
+        """Add many triples; returns the number of new triples."""
+        added = 0
+        for triple in triples:
+            if self.add(triple):
+                added += 1
+        return added
+
+    def load_encoded(self, encoded: Iterable[EncodedTriple]) -> int:
+        """Add many encoded triples; returns the number of new triples."""
+        added = 0
+        for item in encoded:
+            if self.add_encoded(item):
+                added += 1
+        return added
+
+    def freeze(self) -> None:
+        """Sort all posting lists; call once after bulk loading."""
+        if not self._dirty:
+            return
+        for index in (self._spo, self._pos, self._osp):
+            for second in index.values():
+                for posting in second.values():
+                    posting.sort()
+        self._dirty = False
+
+    # ----------------------------------------------------------------- access
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __contains__(self, encoded: EncodedTriple) -> bool:
+        return encoded in self._triples
+
+    @property
+    def triples(self) -> Set[EncodedTriple]:
+        """The set of encoded triples (do not mutate)."""
+        return self._triples
+
+    def iter_triples(self) -> Iterator[EncodedTriple]:
+        """Iterate over encoded triples in arbitrary order."""
+        return iter(self._triples)
+
+    def decode_all(self) -> Iterator[Triple]:
+        """Iterate over triples decoded back to RDF terms."""
+        for encoded in self._triples:
+            yield self.dictionary.decode_triple(encoded)
+
+    # ---------------------------------------------------------------- matching
+    def match(
+        self,
+        subject: Optional[int] = None,
+        predicate: Optional[int] = None,
+        obj: Optional[int] = None,
+    ) -> Iterator[EncodedTriple]:
+        """Iterate triples matching an (s, p, o) pattern; None is a wildcard."""
+        self.freeze()
+        if subject is not None:
+            by_pred = self._spo.get(subject, {})
+            preds = [predicate] if predicate is not None else list(by_pred)
+            for p in preds:
+                for o in by_pred.get(p, []):
+                    if obj is None or o == obj:
+                        yield (subject, p, o)
+        elif predicate is not None:
+            by_obj = self._pos.get(predicate, {})
+            objs = [obj] if obj is not None else list(by_obj)
+            for o in objs:
+                for s in by_obj.get(o, []):
+                    yield (s, predicate, o)
+        elif obj is not None:
+            by_subj = self._osp.get(obj, {})
+            for s, preds in by_subj.items():
+                for p in preds:
+                    yield (s, p, obj)
+        else:
+            yield from self._triples
+
+    def count(
+        self,
+        subject: Optional[int] = None,
+        predicate: Optional[int] = None,
+        obj: Optional[int] = None,
+    ) -> int:
+        """Count triples matching a pattern (may enumerate for mixed patterns)."""
+        if subject is None and predicate is None and obj is None:
+            return len(self._triples)
+        return sum(1 for _ in self.match(subject, predicate, obj))
+
+    def objects(self, subject: int, predicate: int) -> List[int]:
+        """Sorted object list for a (subject, predicate) pair."""
+        self.freeze()
+        return self._spo.get(subject, {}).get(predicate, [])
+
+    def subjects(self, predicate: int, obj: int) -> List[int]:
+        """Sorted subject list for a (predicate, object) pair."""
+        self.freeze()
+        return self._pos.get(predicate, {}).get(obj, [])
+
+    def predicates_between(self, subject: int, obj: int) -> List[int]:
+        """Sorted predicate list connecting subject to object."""
+        self.freeze()
+        return self._osp.get(obj, {}).get(subject, [])
+
+    def subject_ids(self) -> Set[int]:
+        """Set of all node ids appearing in subject position."""
+        return set(self._spo)
+
+    def predicate_ids(self) -> Set[int]:
+        """Set of all predicate ids appearing in the data."""
+        return set(self._pos)

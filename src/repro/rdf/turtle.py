@@ -1,0 +1,177 @@
+"""A pragmatic Turtle-subset parser.
+
+Supports the subset of Turtle used by our generated ontologies and example
+files: ``@prefix`` declarations, prefixed names, ``a`` as ``rdf:type``,
+predicate lists (``;``), object lists (``,``), IRIs, blank node labels,
+plain / typed / language-tagged literals, and numeric/boolean shorthand.
+It does not support collections, anonymous blank nodes ``[]``, or multiline
+literals — the datasets in this repository never use them.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterator, List, Tuple, Union
+
+from repro.exceptions import RDFSyntaxError
+from repro.rdf.namespaces import RDF, XSD
+from repro.rdf.terms import BlankNode, IRI, Literal, Term, Triple
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<iri><[^>]*>)
+  | (?P<literal>"(?:[^"\\]|\\.)*"(?:@[A-Za-z0-9\-]+|\^\^<[^>]*>|\^\^[A-Za-z][\w\-]*:[\w\-]+)?)
+  | (?P<bnode>_:[A-Za-z0-9_\-]+)
+  | (?P<prefixed>[A-Za-z][\w\-]*:[\w\-.]*|:[\w\-.]+)
+  | (?P<keyword>@prefix|@base|\ba\b)
+  | (?P<number>[+-]?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)
+  | (?P<boolean>\btrue\b|\bfalse\b)
+  | (?P<punct>[.;,])
+  | (?P<comment>\#[^\n]*)
+  | (?P<ws>\s+)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    """Tokenize Turtle text into (kind, value) pairs, skipping whitespace."""
+    tokens: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if not match:
+            raise RDFSyntaxError(f"cannot tokenize near {text[pos:pos + 30]!r}")
+        kind = match.lastgroup or ""
+        if kind not in ("ws", "comment"):
+            tokens.append((kind, match.group()))
+        pos = match.end()
+    return tokens
+
+
+class _TurtleParser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, tokens: List[Tuple[str, str]]):
+        self.tokens = tokens
+        self.pos = 0
+        self.prefixes: Dict[str, str] = {}
+
+    def _peek(self) -> Tuple[str, str]:
+        if self.pos >= len(self.tokens):
+            return ("eof", "")
+        return self.tokens[self.pos]
+
+    def _next(self) -> Tuple[str, str]:
+        token = self._peek()
+        self.pos += 1
+        return token
+
+    def _expect_punct(self, value: str) -> None:
+        kind, text = self._next()
+        if kind != "punct" or text != value:
+            raise RDFSyntaxError(f"expected {value!r}, got {text!r}")
+
+    def parse(self) -> Iterator[Triple]:
+        """Yield all triples in the document."""
+        while self._peek()[0] != "eof":
+            kind, text = self._peek()
+            if kind == "keyword" and text == "@prefix":
+                self._parse_prefix()
+            elif kind == "keyword" and text == "@base":
+                self._parse_base()
+            else:
+                yield from self._parse_statement()
+
+    def _parse_prefix(self) -> None:
+        self._next()  # @prefix
+        kind, name = self._next()
+        if kind != "prefixed":
+            raise RDFSyntaxError(f"expected prefix name, got {name!r}")
+        prefix = name[:-1] if name.endswith(":") else name.split(":", 1)[0]
+        kind, iri = self._next()
+        if kind != "iri":
+            raise RDFSyntaxError("expected IRI in @prefix")
+        self.prefixes[prefix] = iri[1:-1]
+        self._expect_punct(".")
+
+    def _parse_base(self) -> None:
+        self._next()  # @base
+        kind, iri = self._next()
+        if kind != "iri":
+            raise RDFSyntaxError("expected IRI in @base")
+        self.prefixes[""] = iri[1:-1]
+        self._expect_punct(".")
+
+    def _parse_statement(self) -> Iterator[Triple]:
+        subject = self._parse_term()
+        if isinstance(subject, Literal):
+            raise RDFSyntaxError("literal in subject position")
+        while True:
+            predicate = self._parse_term(as_predicate=True)
+            if not isinstance(predicate, IRI):
+                raise RDFSyntaxError("predicate must be an IRI")
+            while True:
+                obj = self._parse_term()
+                yield Triple(subject, predicate, obj)
+                kind, text = self._peek()
+                if kind == "punct" and text == ",":
+                    self._next()
+                    continue
+                break
+            kind, text = self._peek()
+            if kind == "punct" and text == ";":
+                self._next()
+                # Allow a trailing ';' before '.'
+                kind, text = self._peek()
+                if kind == "punct" and text == ".":
+                    self._next()
+                    return
+                continue
+            self._expect_punct(".")
+            return
+
+    def _parse_term(self, as_predicate: bool = False) -> Term:
+        kind, text = self._next()
+        if kind == "iri":
+            return IRI(text[1:-1])
+        if kind == "keyword" and text == "a" and as_predicate:
+            return RDF.type
+        if kind == "prefixed":
+            prefix, _, local = text.partition(":")
+            if prefix not in self.prefixes:
+                raise RDFSyntaxError(f"unknown prefix {prefix!r}")
+            return IRI(self.prefixes[prefix] + local)
+        if kind == "bnode":
+            return BlankNode(text[2:])
+        if kind == "literal":
+            return self._parse_literal(text)
+        if kind == "number":
+            datatype = XSD.integer if re.fullmatch(r"[+-]?\d+", text) else XSD.double
+            return Literal(text, datatype)
+        if kind == "boolean":
+            return Literal(text, XSD.boolean)
+        raise RDFSyntaxError(f"unexpected token {text!r}")
+
+    def _parse_literal(self, text: str) -> Literal:
+        match = re.match(r'"((?:[^"\\]|\\.)*)"', text)
+        if not match:
+            raise RDFSyntaxError(f"malformed literal {text!r}")
+        lexical = match.group(1).replace('\\"', '"').replace("\\\\", "\\")
+        rest = text[match.end():]
+        if rest.startswith("@"):
+            return Literal(lexical, None, rest[1:])
+        if rest.startswith("^^<"):
+            return Literal(lexical, IRI(rest[3:-1]))
+        if rest.startswith("^^"):
+            prefix, _, local = rest[2:].partition(":")
+            if prefix not in self.prefixes:
+                raise RDFSyntaxError(f"unknown prefix {prefix!r}")
+            return Literal(lexical, IRI(self.prefixes[prefix] + local))
+        return Literal(lexical)
+
+
+def parse_turtle(text: str) -> Iterator[Triple]:
+    """Parse a Turtle document (subset) and yield its triples."""
+    parser = _TurtleParser(_tokenize(text))
+    yield from parser.parse()

@@ -1,0 +1,24 @@
+"""SPARQL substrate: query model, parser, expression evaluation, result sets."""
+
+from repro.sparql.ast import (
+    Variable,
+    TriplePattern,
+    GraphPattern,
+    UnionPattern,
+    SelectQuery,
+)
+from repro.sparql.parser import parse_sparql
+from repro.sparql.results import ResultSet, Binding
+from repro.sparql import expressions
+
+__all__ = [
+    "Variable",
+    "TriplePattern",
+    "GraphPattern",
+    "UnionPattern",
+    "SelectQuery",
+    "parse_sparql",
+    "ResultSet",
+    "Binding",
+    "expressions",
+]

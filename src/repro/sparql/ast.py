@@ -1,0 +1,133 @@
+"""SPARQL query abstract syntax tree.
+
+The AST mirrors the fragment of SPARQL 1.0 the paper's evaluation needs:
+``SELECT [DISTINCT] ?vars WHERE { BGP, FILTER, OPTIONAL, UNION }`` plus the
+solution modifiers ORDER BY / LIMIT / OFFSET (which the paper strips before
+timing, and which our engines therefore expose but the harness disables).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set, Tuple, Union
+
+from repro.sparql import expressions as expr
+from repro.rdf.terms import Term
+
+
+class Variable(str):
+    """A SPARQL variable (stored without the leading ``?``/``$``)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"?{str(self)}"
+
+
+PatternTerm = Union[Variable, Term]
+
+
+@dataclass(frozen=True)
+class TriplePattern:
+    """A triple pattern; each position is a variable or a concrete term."""
+
+    subject: PatternTerm
+    predicate: PatternTerm
+    object: PatternTerm
+
+    def variables(self) -> Set[Variable]:
+        """Variables mentioned by this pattern."""
+        return {t for t in (self.subject, self.predicate, self.object) if isinstance(t, Variable)}
+
+    def terms(self) -> Tuple[PatternTerm, PatternTerm, PatternTerm]:
+        """The three positions as a tuple."""
+        return (self.subject, self.predicate, self.object)
+
+
+@dataclass
+class GraphPattern:
+    """A group graph pattern: triples + filters + optionals + unions.
+
+    ``unions`` holds one entry per UNION expression appearing in the group;
+    each entry is the list of alternative graph patterns.
+    """
+
+    triples: List[TriplePattern] = field(default_factory=list)
+    filters: List[expr.Expression] = field(default_factory=list)
+    optionals: List["GraphPattern"] = field(default_factory=list)
+    unions: List["UnionPattern"] = field(default_factory=list)
+
+    def variables(self) -> Set[Variable]:
+        """All variables mentioned anywhere in the group (recursively)."""
+        result: Set[Variable] = set()
+        for pattern in self.triples:
+            result |= pattern.variables()
+        for optional in self.optionals:
+            result |= optional.variables()
+        for union in self.unions:
+            result |= union.variables()
+        for condition in self.filters:
+            result |= set(condition.variables())
+        return result
+
+    def required_variables(self) -> Set[Variable]:
+        """Variables bound by non-OPTIONAL parts of the group."""
+        result: Set[Variable] = set()
+        for pattern in self.triples:
+            result |= pattern.variables()
+        for union in self.unions:
+            result |= union.variables()
+        return result
+
+    def is_basic(self) -> bool:
+        """True when the group is a plain BGP (no OPTIONAL/UNION/FILTER)."""
+        return not self.optionals and not self.unions and not self.filters
+
+
+@dataclass
+class UnionPattern:
+    """A UNION of two or more alternative graph patterns."""
+
+    alternatives: List[GraphPattern] = field(default_factory=list)
+
+    def variables(self) -> Set[Variable]:
+        """Variables mentioned by any alternative."""
+        result: Set[Variable] = set()
+        for alternative in self.alternatives:
+            result |= alternative.variables()
+        return result
+
+
+@dataclass
+class SelectQuery:
+    """A SELECT query."""
+
+    variables: Optional[List[Variable]]  # None means SELECT *
+    where: GraphPattern
+    distinct: bool = False
+    order_by: List[Tuple[Variable, bool]] = field(default_factory=list)  # (var, ascending)
+    limit: Optional[int] = None
+    offset: int = 0
+    prefixes: dict = field(default_factory=dict)
+
+    def projection(self) -> List[Variable]:
+        """The projected variables (all WHERE variables for SELECT *)."""
+        if self.variables is not None:
+            return list(self.variables)
+        return sorted(self.where.variables())
+
+    def strip_modifiers(self) -> "SelectQuery":
+        """Copy of the query without DISTINCT / ORDER BY / LIMIT / OFFSET.
+
+        The paper measures pure pattern-matching time with solution modifiers
+        removed (Section 7.1); the benchmark harness uses this helper.
+        """
+        return SelectQuery(
+            variables=self.variables,
+            where=self.where,
+            distinct=False,
+            order_by=[],
+            limit=None,
+            offset=0,
+            prefixes=dict(self.prefixes),
+        )

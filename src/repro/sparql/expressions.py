@@ -1,0 +1,266 @@
+"""FILTER expression AST and evaluation.
+
+The evaluator works on *decoded* RDF terms (not dictionary ids) so the same
+expression objects can be shared by every engine.  Numeric literals are
+coerced with :meth:`Literal.to_python`; comparing incompatible values raises
+:class:`ExpressionError`, which FILTER evaluation treats as "condition not
+satisfied" per the SPARQL error semantics.
+
+Expressions are classified as *inexpensive* (single-variable, no regex) or
+*expensive*; TurboHOM++ pushes inexpensive filters into graph exploration and
+defers expensive ones until after pattern matching (Section 5.1).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.exceptions import ExpressionError
+from repro.rdf.terms import IRI, Literal, Term
+
+BindingMap = Dict[str, Term]
+PythonValue = Union[int, float, bool, str]
+
+
+class Expression:
+    """Base class for filter expressions."""
+
+    def evaluate(self, binding: BindingMap) -> PythonValue:
+        """Evaluate under a binding of variable names to RDF terms."""
+        raise NotImplementedError
+
+    def variables(self) -> List[str]:
+        """Variables referenced by this expression."""
+        return []
+
+    def is_expensive(self) -> bool:
+        """True for filters that should run after pattern matching.
+
+        Joins between two variables and regular expressions are the paper's
+        examples of expensive filters (Section 5.1, BSBM Q5/Q6).
+        """
+        return len(set(self.variables())) > 1
+
+
+def _to_python(value: Union[Term, PythonValue]) -> PythonValue:
+    """Coerce an RDF term or Python value to a plain Python value."""
+    if isinstance(value, Literal):
+        return value.to_python()
+    if isinstance(value, IRI):
+        return str(value)
+    if isinstance(value, (int, float, bool, str)):
+        return value
+    raise ExpressionError(f"cannot coerce {value!r}")
+
+
+def _numeric(value: PythonValue) -> Union[int, float]:
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, (int, float)):
+        return value
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        raise ExpressionError(f"not numeric: {value!r}") from None
+
+
+@dataclass
+class Var(Expression):
+    """Reference to a variable."""
+
+    name: str
+
+    def evaluate(self, binding: BindingMap) -> PythonValue:
+        if self.name not in binding or binding[self.name] is None:
+            raise ExpressionError(f"unbound variable ?{self.name}")
+        return _to_python(binding[self.name])
+
+    def variables(self) -> List[str]:
+        return [self.name]
+
+
+@dataclass
+class Constant(Expression):
+    """A literal or IRI constant."""
+
+    value: Union[Term, PythonValue]
+
+    def evaluate(self, binding: BindingMap) -> PythonValue:
+        return _to_python(self.value)
+
+
+@dataclass
+class Comparison(Expression):
+    """Binary comparison: =, !=, <, <=, >, >=."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def evaluate(self, binding: BindingMap) -> bool:
+        left = self.left.evaluate(binding)
+        right = self.right.evaluate(binding)
+        if self.op == "=":
+            return left == right
+        if self.op == "!=":
+            return left != right
+        # Ordering comparisons require comparable types.
+        if isinstance(left, str) != isinstance(right, str):
+            left, right = _numeric(left), _numeric(right)
+        if self.op == "<":
+            return left < right
+        if self.op == "<=":
+            return left <= right
+        if self.op == ">":
+            return left > right
+        if self.op == ">=":
+            return left >= right
+        raise ExpressionError(f"unknown comparison operator {self.op}")
+
+    def variables(self) -> List[str]:
+        return self.left.variables() + self.right.variables()
+
+
+@dataclass
+class Arithmetic(Expression):
+    """Binary arithmetic: +, -, *, /."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def evaluate(self, binding: BindingMap) -> Union[int, float]:
+        left = _numeric(self.left.evaluate(binding))
+        right = _numeric(self.right.evaluate(binding))
+        if self.op == "+":
+            return left + right
+        if self.op == "-":
+            return left - right
+        if self.op == "*":
+            return left * right
+        if self.op == "/":
+            if right == 0:
+                raise ExpressionError("division by zero")
+            return left / right
+        raise ExpressionError(f"unknown arithmetic operator {self.op}")
+
+    def variables(self) -> List[str]:
+        return self.left.variables() + self.right.variables()
+
+
+@dataclass
+class And(Expression):
+    """Logical conjunction (&&)."""
+
+    left: Expression
+    right: Expression
+
+    def evaluate(self, binding: BindingMap) -> bool:
+        return bool(self.left.evaluate(binding)) and bool(self.right.evaluate(binding))
+
+    def variables(self) -> List[str]:
+        return self.left.variables() + self.right.variables()
+
+
+@dataclass
+class Or(Expression):
+    """Logical disjunction (||)."""
+
+    left: Expression
+    right: Expression
+
+    def evaluate(self, binding: BindingMap) -> bool:
+        return bool(self.left.evaluate(binding)) or bool(self.right.evaluate(binding))
+
+    def variables(self) -> List[str]:
+        return self.left.variables() + self.right.variables()
+
+
+@dataclass
+class Not(Expression):
+    """Logical negation (!)."""
+
+    operand: Expression
+
+    def evaluate(self, binding: BindingMap) -> bool:
+        return not bool(self.operand.evaluate(binding))
+
+    def variables(self) -> List[str]:
+        return self.operand.variables()
+
+
+@dataclass
+class Bound(Expression):
+    """``BOUND(?x)`` — true when the variable has a non-null binding."""
+
+    name: str
+
+    def evaluate(self, binding: BindingMap) -> bool:
+        return self.name in binding and binding[self.name] is not None
+
+    def variables(self) -> List[str]:
+        return [self.name]
+
+    def is_expensive(self) -> bool:
+        # BOUND only makes sense over complete (OPTIONAL-resolved) solutions.
+        return True
+
+
+@dataclass
+class Regex(Expression):
+    """``REGEX(expr, pattern [, flags])``."""
+
+    operand: Expression
+    pattern: str
+    flags: str = ""
+
+    def evaluate(self, binding: BindingMap) -> bool:
+        value = self.operand.evaluate(binding)
+        re_flags = re.IGNORECASE if "i" in self.flags else 0
+        return re.search(self.pattern, str(value), re_flags) is not None
+
+    def variables(self) -> List[str]:
+        return self.operand.variables()
+
+    def is_expensive(self) -> bool:
+        return True
+
+
+@dataclass
+class LangMatches(Expression):
+    """``LANGMATCHES(LANG(?x), "en")`` simplified to a language-tag test."""
+
+    name: str
+    language: str
+
+    def evaluate(self, binding: BindingMap) -> bool:
+        term = binding.get(self.name)
+        if not isinstance(term, Literal) or term.language is None:
+            return False
+        if self.language == "*":
+            return True
+        return term.language.lower().startswith(self.language.lower())
+
+    def variables(self) -> List[str]:
+        return [self.name]
+
+
+def evaluate_filter(expression: Expression, binding: BindingMap) -> bool:
+    """SPARQL effective-boolean-value of a filter; errors count as False."""
+    try:
+        return bool(expression.evaluate(binding))
+    except ExpressionError:
+        return False
+
+
+def split_filters(
+    filters: Sequence[Expression],
+) -> tuple[List[Expression], List[Expression]]:
+    """Partition filters into (inexpensive, expensive) per Section 5.1."""
+    cheap: List[Expression] = []
+    costly: List[Expression] = []
+    for condition in filters:
+        (costly if condition.is_expensive() else cheap).append(condition)
+    return cheap, costly

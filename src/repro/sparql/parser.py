@@ -1,0 +1,400 @@
+"""Recursive-descent SPARQL parser for the fragment used by the benchmarks.
+
+Grammar (informal):
+
+    Query      := Prologue SelectQuery
+    Prologue   := (PREFIX pname IRI)*
+    SelectQuery:= SELECT [DISTINCT] (Var+ | '*') WHERE? GroupGraph Modifiers
+    GroupGraph := '{' (TriplesBlock | Filter | Optional | Group (UNION Group)*)* '}'
+    Filter     := FILTER Expression | FILTER '(' Expression ')'
+    Optional   := OPTIONAL GroupGraph
+    Modifiers  := (ORDER BY (ASC|DESC)? Var ...)? (LIMIT int)? (OFFSET int)?
+
+Triple blocks support the ``;`` (same subject) and ``,`` (same subject and
+predicate) abbreviations and the ``a`` keyword.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.exceptions import SPARQLSyntaxError
+from repro.rdf.namespaces import RDF, XSD
+from repro.rdf.terms import BlankNode, IRI, Literal, Term
+from repro.sparql import expressions as expr
+from repro.sparql.ast import (
+    GraphPattern,
+    PatternTerm,
+    SelectQuery,
+    TriplePattern,
+    UnionPattern,
+    Variable,
+)
+from repro.sparql.tokenizer import Token, tokenize
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+        self.prefixes: Dict[str, str] = {}
+
+    # ------------------------------------------------------------- token flow
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def next(self) -> Token:
+        token = self.peek()
+        self.pos += 1
+        return token
+
+    def accept_keyword(self, keyword: str) -> bool:
+        token = self.peek()
+        if token.kind == "KEYWORD" and token.text == keyword:
+            self.pos += 1
+            return True
+        return False
+
+    def expect_keyword(self, keyword: str) -> None:
+        if not self.accept_keyword(keyword):
+            token = self.peek()
+            raise SPARQLSyntaxError(f"expected {keyword}, got {token.text!r}", token.position)
+
+    def accept_op(self, op: str) -> bool:
+        token = self.peek()
+        if token.kind == "OP" and token.text == op:
+            self.pos += 1
+            return True
+        return False
+
+    def expect_op(self, op: str) -> None:
+        if not self.accept_op(op):
+            token = self.peek()
+            raise SPARQLSyntaxError(f"expected {op!r}, got {token.text!r}", token.position)
+
+    # --------------------------------------------------------------- prologue
+    def parse_query(self) -> SelectQuery:
+        while self.accept_keyword("PREFIX"):
+            name_token = self.next()
+            if name_token.kind not in ("PNAME", "NAME", "OP"):
+                raise SPARQLSyntaxError("expected prefix name", name_token.position)
+            prefix = name_token.text.rstrip(":")
+            iri_token = self.next()
+            if iri_token.kind != "IRI":
+                raise SPARQLSyntaxError("expected IRI in PREFIX", iri_token.position)
+            self.prefixes[prefix] = iri_token.text[1:-1]
+        self.expect_keyword("SELECT")
+        distinct = self.accept_keyword("DISTINCT")
+        self.accept_keyword("REDUCED")
+        variables = self._parse_projection()
+        self.accept_keyword("WHERE")
+        where = self._parse_group()
+        order_by, limit, offset = self._parse_modifiers()
+        token = self.peek()
+        if token.kind != "EOF":
+            raise SPARQLSyntaxError(f"unexpected trailing token {token.text!r}", token.position)
+        return SelectQuery(
+            variables=variables,
+            where=where,
+            distinct=distinct,
+            order_by=order_by,
+            limit=limit,
+            offset=offset,
+            prefixes=dict(self.prefixes),
+        )
+
+    def _parse_projection(self) -> Optional[List[Variable]]:
+        if self.accept_op("*"):
+            return None
+        variables: List[Variable] = []
+        while self.peek().kind == "VAR":
+            variables.append(Variable(self.next().text[1:]))
+            self.accept_op(",")
+        if not variables:
+            token = self.peek()
+            raise SPARQLSyntaxError("expected projection variables or '*'", token.position)
+        return variables
+
+    # ------------------------------------------------------------------ where
+    def _parse_group(self) -> GraphPattern:
+        self.expect_op("{")
+        group = GraphPattern()
+        while True:
+            token = self.peek()
+            if token.kind == "OP" and token.text == "}":
+                self.next()
+                break
+            if token.kind == "EOF":
+                raise SPARQLSyntaxError("unterminated group graph pattern", token.position)
+            if token.kind == "KEYWORD" and token.text == "FILTER":
+                self.next()
+                group.filters.append(self._parse_filter())
+            elif token.kind == "KEYWORD" and token.text == "OPTIONAL":
+                self.next()
+                group.optionals.append(self._parse_group())
+            elif token.kind == "OP" and token.text == "{":
+                union = self._parse_union()
+                if len(union.alternatives) == 1:
+                    # A plain nested group: merge it into this group.
+                    nested = union.alternatives[0]
+                    group.triples.extend(nested.triples)
+                    group.filters.extend(nested.filters)
+                    group.optionals.extend(nested.optionals)
+                    group.unions.extend(nested.unions)
+                else:
+                    group.unions.append(union)
+            else:
+                group.triples.extend(self._parse_triples_block())
+            self.accept_op(".")
+        return group
+
+    def _parse_union(self) -> UnionPattern:
+        union = UnionPattern(alternatives=[self._parse_group()])
+        while self.accept_keyword("UNION"):
+            union.alternatives.append(self._parse_group())
+        return union
+
+    def _parse_triples_block(self) -> List[TriplePattern]:
+        patterns: List[TriplePattern] = []
+        subject = self._parse_pattern_term()
+        while True:
+            predicate = self._parse_pattern_term(as_predicate=True)
+            while True:
+                obj = self._parse_pattern_term()
+                patterns.append(TriplePattern(subject, predicate, obj))
+                if not self.accept_op(","):
+                    break
+            if self.accept_op(";"):
+                token = self.peek()
+                # allow trailing ';' before '.', '}', FILTER, OPTIONAL
+                if token.kind == "OP" and token.text in (".", "}"):
+                    break
+                if token.kind == "KEYWORD":
+                    break
+                continue
+            break
+        return patterns
+
+    def _parse_pattern_term(self, as_predicate: bool = False) -> PatternTerm:
+        token = self.next()
+        if token.kind == "VAR":
+            return Variable(token.text[1:])
+        if token.kind == "IRI":
+            return IRI(token.text[1:-1])
+        if token.kind == "A" and as_predicate:
+            return RDF.type
+        if token.kind == "PNAME":
+            return self._resolve_pname(token)
+        if token.kind == "LITERAL":
+            return self._parse_literal(token.text)
+        if token.kind == "NUMBER":
+            return _number_literal(token.text)
+        if token.kind == "BOOLEAN":
+            return Literal(token.text, XSD.boolean)
+        if token.kind == "OP" and token.text == "[" and self.accept_op("]"):
+            return BlankNode(f"anon{token.position}")
+        raise SPARQLSyntaxError(f"unexpected token {token.text!r} in triple pattern", token.position)
+
+    def _resolve_pname(self, token: Token) -> IRI:
+        prefix, _, local = token.text.partition(":")
+        if prefix not in self.prefixes:
+            raise SPARQLSyntaxError(f"unknown prefix {prefix!r}", token.position)
+        return IRI(self.prefixes[prefix] + local)
+
+    def _parse_literal(self, text: str) -> Literal:
+        match = re.match(r'"((?:[^"\\]|\\.)*)"', text)
+        if not match:
+            raise SPARQLSyntaxError(f"malformed literal {text!r}")
+        lexical = match.group(1).replace('\\"', '"').replace("\\\\", "\\")
+        rest = text[match.end():]
+        if rest.startswith("@"):
+            return Literal(lexical, None, rest[1:])
+        if rest.startswith("^^<"):
+            return Literal(lexical, IRI(rest[3:-1]))
+        if rest.startswith("^^"):
+            prefix, _, local = rest[2:].partition(":")
+            if prefix not in self.prefixes:
+                raise SPARQLSyntaxError(f"unknown prefix {prefix!r}")
+            return Literal(lexical, IRI(self.prefixes[prefix] + local))
+        return Literal(lexical)
+
+    # ---------------------------------------------------------------- filters
+    def _parse_filter(self) -> expr.Expression:
+        return self._parse_or()
+
+    def _parse_or(self) -> expr.Expression:
+        left = self._parse_and()
+        while self.accept_op("||"):
+            left = expr.Or(left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> expr.Expression:
+        left = self._parse_relational()
+        while self.accept_op("&&"):
+            left = expr.And(left, self._parse_relational())
+        return left
+
+    def _parse_relational(self) -> expr.Expression:
+        left = self._parse_additive()
+        token = self.peek()
+        if token.kind == "OP" and token.text in ("=", "!=", "<", "<=", ">", ">="):
+            self.next()
+            right = self._parse_additive()
+            return expr.Comparison(token.text, left, right)
+        return left
+
+    def _parse_additive(self) -> expr.Expression:
+        left = self._parse_multiplicative()
+        while True:
+            token = self.peek()
+            if token.kind == "OP" and token.text in ("+", "-"):
+                self.next()
+                left = expr.Arithmetic(token.text, left, self._parse_multiplicative())
+            else:
+                return left
+
+    def _parse_multiplicative(self) -> expr.Expression:
+        left = self._parse_unary()
+        while True:
+            token = self.peek()
+            if token.kind == "OP" and token.text in ("*", "/"):
+                self.next()
+                left = expr.Arithmetic(token.text, left, self._parse_unary())
+            else:
+                return left
+
+    def _parse_unary(self) -> expr.Expression:
+        if self.accept_op("!"):
+            return expr.Not(self._parse_unary())
+        if self.accept_op("-"):
+            operand = self._parse_unary()
+            return expr.Arithmetic("-", expr.Constant(0), operand)
+        return self._parse_primary()
+
+    def _parse_primary(self) -> expr.Expression:
+        token = self.next()
+        if token.kind == "OP" and token.text == "(":
+            inner = self._parse_or()
+            self.expect_op(")")
+            return inner
+        if token.kind == "VAR":
+            return expr.Var(token.text[1:])
+        if token.kind == "NUMBER":
+            value = float(token.text) if any(c in token.text for c in ".eE") else int(token.text)
+            return expr.Constant(value)
+        if token.kind == "BOOLEAN":
+            return expr.Constant(token.text == "true")
+        if token.kind == "LITERAL":
+            return expr.Constant(self._parse_literal(token.text))
+        if token.kind == "IRI":
+            return expr.Constant(IRI(token.text[1:-1]))
+        if token.kind == "PNAME":
+            return expr.Constant(self._resolve_pname(token))
+        if token.kind == "KEYWORD" and token.text == "REGEX":
+            return self._parse_regex()
+        if token.kind == "KEYWORD" and token.text == "BOUND":
+            self.expect_op("(")
+            var_token = self.next()
+            if var_token.kind != "VAR":
+                raise SPARQLSyntaxError("BOUND expects a variable", var_token.position)
+            self.expect_op(")")
+            return expr.Bound(var_token.text[1:])
+        if token.kind == "KEYWORD" and token.text in ("STR", "LANG", "DATATYPE"):
+            self.expect_op("(")
+            inner = self._parse_or()
+            self.expect_op(")")
+            # STR/LANG/DATATYPE reduce to their operand for our coercing evaluator.
+            return inner
+        if token.kind == "KEYWORD" and token.text == "LANGMATCHES":
+            return self._parse_langmatches()
+        raise SPARQLSyntaxError(f"unexpected token {token.text!r} in expression", token.position)
+
+    def _parse_regex(self) -> expr.Expression:
+        self.expect_op("(")
+        operand = self._parse_or()
+        self.expect_op(",")
+        pattern_token = self.next()
+        if pattern_token.kind != "LITERAL":
+            raise SPARQLSyntaxError("REGEX pattern must be a string literal", pattern_token.position)
+        pattern = self._parse_literal(pattern_token.text).lexical
+        flags = ""
+        if self.accept_op(","):
+            flags_token = self.next()
+            if flags_token.kind != "LITERAL":
+                raise SPARQLSyntaxError("REGEX flags must be a string literal", flags_token.position)
+            flags = self._parse_literal(flags_token.text).lexical
+        self.expect_op(")")
+        return expr.Regex(operand, pattern, flags)
+
+    def _parse_langmatches(self) -> expr.Expression:
+        self.expect_op("(")
+        # Expect LANG(?x)
+        self.expect_keyword("LANG")
+        self.expect_op("(")
+        var_token = self.next()
+        if var_token.kind != "VAR":
+            raise SPARQLSyntaxError("LANG expects a variable", var_token.position)
+        self.expect_op(")")
+        self.expect_op(",")
+        lang_token = self.next()
+        if lang_token.kind != "LITERAL":
+            raise SPARQLSyntaxError("LANGMATCHES expects a string literal", lang_token.position)
+        language = self._parse_literal(lang_token.text).lexical
+        self.expect_op(")")
+        return expr.LangMatches(var_token.text[1:], language)
+
+    # -------------------------------------------------------------- modifiers
+    def _parse_modifiers(self) -> Tuple[List[Tuple[Variable, bool]], Optional[int], int]:
+        order_by: List[Tuple[Variable, bool]] = []
+        limit: Optional[int] = None
+        offset = 0
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            while True:
+                ascending = True
+                if self.accept_keyword("DESC"):
+                    ascending = False
+                    self.expect_op("(")
+                    var_token = self.next()
+                    self.expect_op(")")
+                elif self.accept_keyword("ASC"):
+                    self.expect_op("(")
+                    var_token = self.next()
+                    self.expect_op(")")
+                else:
+                    var_token = self.peek()
+                    if var_token.kind != "VAR":
+                        break
+                    self.next()
+                if var_token.kind != "VAR":
+                    raise SPARQLSyntaxError("ORDER BY expects variables", var_token.position)
+                order_by.append((Variable(var_token.text[1:]), ascending))
+                if self.peek().kind != "VAR" and not (
+                    self.peek().kind == "KEYWORD" and self.peek().text in ("ASC", "DESC")
+                ):
+                    break
+        if self.accept_keyword("LIMIT"):
+            limit_token = self.next()
+            if limit_token.kind != "NUMBER":
+                raise SPARQLSyntaxError("LIMIT expects an integer", limit_token.position)
+            limit = int(limit_token.text)
+        if self.accept_keyword("OFFSET"):
+            offset_token = self.next()
+            if offset_token.kind != "NUMBER":
+                raise SPARQLSyntaxError("OFFSET expects an integer", offset_token.position)
+            offset = int(offset_token.text)
+        return order_by, limit, offset
+
+
+def _number_literal(text: str) -> Literal:
+    """Build a typed literal from a numeric token."""
+    if re.fullmatch(r"[+-]?\d+", text):
+        return Literal(text, XSD.integer)
+    return Literal(text, XSD.double)
+
+
+def parse_sparql(query: str) -> SelectQuery:
+    """Parse a SPARQL SELECT query string into a :class:`SelectQuery`."""
+    return _Parser(tokenize(query)).parse_query()

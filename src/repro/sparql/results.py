@@ -1,0 +1,115 @@
+"""Query result containers shared by every engine.
+
+A :class:`Binding` maps variable names to decoded RDF terms (``None`` marks a
+variable left unbound by an OPTIONAL clause).  A :class:`ResultSet` is an
+ordered collection of bindings plus the projected variable list, with helpers
+for DISTINCT / ORDER BY / LIMIT and for order-insensitive comparison between
+engines (used heavily by the cross-engine consistency tests).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.rdf.terms import Term
+
+Binding = Dict[str, Optional[Term]]
+
+
+class ResultSet:
+    """Ordered bag of solution bindings."""
+
+    def __init__(self, variables: Sequence[str], rows: Optional[Iterable[Binding]] = None):
+        self.variables: List[str] = list(variables)
+        self.rows: List[Binding] = list(rows) if rows is not None else []
+
+    # ------------------------------------------------------------- collection
+    def append(self, binding: Binding) -> None:
+        """Add one solution."""
+        self.rows.append(binding)
+
+    def extend(self, bindings: Iterable[Binding]) -> None:
+        """Add many solutions."""
+        self.rows.extend(bindings)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Binding]:
+        return iter(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    # -------------------------------------------------------------- modifiers
+    def project(self, variables: Sequence[str]) -> "ResultSet":
+        """Project each solution onto the given variables."""
+        projected = ResultSet(variables)
+        for row in self.rows:
+            projected.append({var: row.get(var) for var in variables})
+        return projected
+
+    def distinct(self) -> "ResultSet":
+        """Remove duplicate solutions, preserving first-seen order."""
+        seen = set()
+        unique = ResultSet(self.variables)
+        for row in self.rows:
+            key = tuple(row.get(var) for var in self.variables)
+            if key not in seen:
+                seen.add(key)
+                unique.append(row)
+        return unique
+
+    def order_by(self, keys: Sequence[Tuple[str, bool]]) -> "ResultSet":
+        """Sort by ``(variable, ascending)`` keys; None sorts first."""
+        ordered = ResultSet(self.variables, self.rows)
+        for var, ascending in reversed(list(keys)):
+            ordered.rows.sort(
+                key=lambda row: (row.get(var) is not None, _sort_key(row.get(var))),
+                reverse=not ascending,
+            )
+        return ordered
+
+    def slice(self, limit: Optional[int], offset: int = 0) -> "ResultSet":
+        """Apply OFFSET / LIMIT."""
+        end = None if limit is None else offset + limit
+        return ResultSet(self.variables, self.rows[offset:end])
+
+    # ------------------------------------------------------------- comparison
+    def as_multiset(self) -> Dict[Tuple, int]:
+        """Multiset of solution tuples, for order-insensitive comparison."""
+        counts: Dict[Tuple, int] = {}
+        for row in self.rows:
+            key = tuple(row.get(var) for var in self.variables)
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def same_solutions(self, other: "ResultSet") -> bool:
+        """True when both result sets contain the same solutions (as bags).
+
+        The projected variables must match as sets; column order is ignored.
+        """
+        if set(self.variables) != set(other.variables):
+            return False
+        order = list(self.variables)
+        mine = {}
+        theirs = {}
+        for row in self.rows:
+            key = tuple(row.get(var) for var in order)
+            mine[key] = mine.get(key, 0) + 1
+        for row in other.rows:
+            key = tuple(row.get(var) for var in order)
+            theirs[key] = theirs.get(key, 0) + 1
+        return mine == theirs
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"ResultSet(vars={self.variables}, rows={len(self.rows)})"
+
+
+def _sort_key(term: Optional[Term]):
+    """Stable sort key for heterogeneous terms."""
+    if term is None:
+        return ""
+    if hasattr(term, "lexical"):
+        return str(term.lexical)  # type: ignore[union-attr]
+    return str(term)

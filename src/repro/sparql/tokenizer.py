@@ -1,0 +1,83 @@
+"""SPARQL tokenizer.
+
+Produces a flat token stream for the recursive-descent parser.  Token kinds:
+
+* ``IRI``       — ``<http://...>``
+* ``PNAME``     — prefixed name ``ub:Student`` or ``rdf:type``
+* ``VAR``       — ``?x`` or ``$x``
+* ``LITERAL``   — quoted string with optional ``@lang`` / ``^^datatype``
+* ``NUMBER``    — integer or decimal
+* ``BOOLEAN``   — ``true`` / ``false``
+* ``KEYWORD``   — SPARQL keywords, uppercased (SELECT, WHERE, FILTER, ...)
+* ``A``         — the ``a`` shorthand for rdf:type
+* ``OP``        — operators and punctuation
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.exceptions import SPARQLSyntaxError
+
+_KEYWORDS = {
+    "SELECT", "DISTINCT", "REDUCED", "WHERE", "FILTER", "OPTIONAL", "UNION",
+    "PREFIX", "BASE", "ORDER", "BY", "ASC", "DESC", "LIMIT", "OFFSET",
+    "REGEX", "BOUND", "LANG", "LANGMATCHES", "STR", "DATATYPE", "ASK",
+    "CONSTRUCT", "DESCRIBE", "FROM", "NAMED", "GRAPH", "AS",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<IRI><[^<>\s]*>)
+  | (?P<LITERAL>"(?:[^"\\]|\\.)*"(?:@[A-Za-z0-9\-]+|\^\^<[^>]*>|\^\^[A-Za-z][\w\-]*:[\w\-]+)?)
+  | (?P<VAR>[?$][A-Za-z_][\w]*)
+  | (?P<NUMBER>[+-]?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)
+  | (?P<PNAME>[A-Za-z_][\w\-]*:[\w\-.%]*|:[\w\-.%]+)
+  | (?P<NAME>[A-Za-z_][\w\-]*)
+  | (?P<OP>\|\||&&|!=|<=|>=|[{}().,;=<>!*/+\-\[\]])
+  | (?P<COMMENT>\#[^\n]*)
+  | (?P<WS>\s+)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single token with its kind, text, and source offset."""
+
+    kind: str
+    text: str
+    position: int
+
+
+def tokenize(query: str) -> List[Token]:
+    """Tokenize a SPARQL query string."""
+    tokens: List[Token] = []
+    pos = 0
+    length = len(query)
+    while pos < length:
+        match = _TOKEN_RE.match(query, pos)
+        if not match:
+            raise SPARQLSyntaxError(f"cannot tokenize near {query[pos:pos + 30]!r}", pos)
+        kind = match.lastgroup or ""
+        text = match.group()
+        if kind == "NAME":
+            upper = text.upper()
+            if text == "a":
+                tokens.append(Token("A", text, pos))
+            elif upper in _KEYWORDS:
+                tokens.append(Token("KEYWORD", upper, pos))
+            elif upper in ("TRUE", "FALSE"):
+                tokens.append(Token("BOOLEAN", text.lower(), pos))
+            else:
+                # Bare names only appear as the empty-prefix part of
+                # prefixed names; treat as a parse error later.
+                tokens.append(Token("NAME", text, pos))
+        elif kind not in ("WS", "COMMENT"):
+            tokens.append(Token(kind, text, pos))
+        pos = match.end()
+    tokens.append(Token("EOF", "", length))
+    return tokens

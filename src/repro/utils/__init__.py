@@ -1,0 +1,25 @@
+"""Small shared utilities: timers, sorted-list algorithms, statistics."""
+
+from repro.utils.intersect import (
+    intersect_sorted,
+    intersect_many,
+    union_sorted,
+    union_many,
+    contains_sorted,
+    galloping_intersect,
+)
+from repro.utils.timer import Timer, timed
+from repro.utils.stats import geometric_mean, summarize
+
+__all__ = [
+    "intersect_sorted",
+    "intersect_many",
+    "union_sorted",
+    "union_many",
+    "contains_sorted",
+    "galloping_intersect",
+    "Timer",
+    "timed",
+    "geometric_mean",
+    "summarize",
+]

@@ -1,0 +1,36 @@
+"""Tiny statistics helpers for benchmark reporting."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values; 0.0 for an empty sequence.
+
+    Speedup ratios are conventionally aggregated with the geometric mean
+    (arithmetic means over-weight large ratios).
+    """
+    positive = [v for v in values if v > 0]
+    if not positive:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in positive) / len(positive))
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """Return min/max/mean/median of a numeric sequence."""
+    if not values:
+        return {"min": 0.0, "max": 0.0, "mean": 0.0, "median": 0.0}
+    ordered = sorted(values)
+    n = len(ordered)
+    if n % 2:
+        median = ordered[n // 2]
+    else:
+        median = (ordered[n // 2 - 1] + ordered[n // 2]) / 2.0
+    return {
+        "min": ordered[0],
+        "max": ordered[-1],
+        "mean": sum(ordered) / n,
+        "median": median,
+    }

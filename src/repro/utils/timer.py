@@ -1,0 +1,65 @@
+"""Wall-clock timing helpers used by the benchmark harness.
+
+The paper reports elapsed milliseconds averaged over repeated runs with the
+best and worst run excluded (Section 7.1).  :func:`timed` reproduces that
+protocol.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass
+class Timer:
+    """Accumulating stopwatch.
+
+    Example
+    -------
+    >>> t = Timer()
+    >>> with t:
+    ...     sum(range(10))
+    45
+    >>> t.elapsed_ms >= 0.0
+    True
+    """
+
+    elapsed_ms: float = 0.0
+    laps: List[float] = field(default_factory=list)
+    _start: float = field(default=0.0, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        lap = (time.perf_counter() - self._start) * 1000.0
+        self.laps.append(lap)
+        self.elapsed_ms += lap
+
+    def reset(self) -> None:
+        """Clear accumulated time and laps."""
+        self.elapsed_ms = 0.0
+        self.laps.clear()
+
+
+def timed(func: Callable[[], T], repeats: int = 5) -> Tuple[T, float]:
+    """Run ``func`` ``repeats`` times, return (last result, average ms).
+
+    Follows the paper's measurement protocol: execute five times, drop the
+    best and the worst, average the rest.  With fewer than three repeats the
+    plain mean is used.
+    """
+    times: List[float] = []
+    result: T = None  # type: ignore[assignment]
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result = func()
+        times.append((time.perf_counter() - start) * 1000.0)
+    if len(times) >= 3:
+        times = sorted(times)[1:-1]
+    return result, sum(times) / len(times)

@@ -1,0 +1,110 @@
+"""Shared fixtures: the paper's running examples and small benchmark datasets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import load_bsbm, load_btc, load_lubm, load_yago
+from repro.graph.labeled_graph import GraphBuilder
+from repro.graph.query_graph import QueryGraph
+from repro.rdf.namespaces import Namespace, RDF
+from repro.rdf.store import TripleStore
+from repro.rdf.terms import IRI, Literal, Triple
+
+EX = Namespace("http://example.org/")
+
+# Vertex labels used by the hand-built labeled graphs (Figure 1 of the paper).
+LABEL_A, LABEL_B, LABEL_C, LABEL_D, LABEL_E = 0, 1, 2, 3, 4
+# Edge labels.
+EDGE_A, EDGE_B, EDGE_C = 0, 1, 2
+
+
+@pytest.fixture
+def figure1_data_graph():
+    """The data graph g1 of Figure 1 (vertices v0..v5)."""
+    builder = GraphBuilder()
+    builder.add_vertex(0, (LABEL_A,))            # v0 {A}
+    builder.add_vertex(1, (LABEL_B,))            # v1 {B}
+    builder.add_vertex(2, (LABEL_A, LABEL_D))    # v2 {A,D}
+    builder.add_vertex(3, (LABEL_B,))            # v3 {B}
+    builder.add_vertex(4, (LABEL_C,))            # v4 {C}
+    builder.add_vertex(5, (LABEL_C, LABEL_E))    # v5 {C,E}
+    builder.add_edge(0, EDGE_A, 1)               # v0 -a-> v1
+    builder.add_edge(0, EDGE_B, 4)               # v0 -b-> v4
+    builder.add_edge(2, EDGE_A, 1)               # v2 -a-> v1
+    builder.add_edge(2, EDGE_A, 3)               # v2 -a-> v3
+    builder.add_edge(2, EDGE_B, 5)               # v2 -b-> v5
+    builder.add_edge(3, EDGE_C, 4)               # v3 -c-> v4
+    builder.add_edge(3, EDGE_C, 5)               # v3 -c-> v5
+    return builder.build()
+
+
+@pytest.fixture
+def figure1_query_graph():
+    """The query graph q1 of Figure 1 (u0..u4)."""
+    query = QueryGraph()
+    u0 = query.add_vertex("u0")                                  # blank label
+    u1 = query.add_vertex("u1", frozenset((LABEL_B,)))
+    u2 = query.add_vertex("u2")                                  # blank label
+    u3 = query.add_vertex("u3", frozenset((LABEL_B,)))
+    u4 = query.add_vertex("u4", frozenset((LABEL_C,)))
+    # q1 edges: u0 -a-> u1, u0 -b-> u4, u2 -a-> u1, u2 -a-> u3, u3 -c-> u4
+    query.add_edge(u0, u1, EDGE_A)
+    query.add_edge(u0, u4, EDGE_B)
+    query.add_edge(u2, u1, EDGE_A)
+    query.add_edge(u2, u3, EDGE_A)
+    query.add_edge(u3, u4, EDGE_C)
+    return query
+
+
+@pytest.fixture
+def small_rdf_store():
+    """A small RDF store with typed people and a couple of relations."""
+    store = TripleStore()
+    triples = [
+        Triple(EX.alice, RDF.type, EX.Person),
+        Triple(EX.bob, RDF.type, EX.Person),
+        Triple(EX.carol, RDF.type, EX.Person),
+        Triple(EX.acme, RDF.type, EX.Company),
+        Triple(EX.alice, EX.knows, EX.bob),
+        Triple(EX.bob, EX.knows, EX.carol),
+        Triple(EX.carol, EX.knows, EX.alice),
+        Triple(EX.alice, EX.worksFor, EX.acme),
+        Triple(EX.bob, EX.worksFor, EX.acme),
+        Triple(EX.alice, EX.age, Literal("31", IRI("http://www.w3.org/2001/XMLSchema#integer"))),
+        Triple(EX.bob, EX.age, Literal("27", IRI("http://www.w3.org/2001/XMLSchema#integer"))),
+        Triple(EX.alice, EX.name, Literal("Alice")),
+    ]
+    store.load(triples)
+    store.freeze()
+    return store
+
+
+@pytest.fixture(scope="session")
+def lubm1():
+    """LUBM(1) with inference — the main integration fixture."""
+    return load_lubm(universities=1)
+
+
+@pytest.fixture(scope="session")
+def lubm2():
+    """LUBM(2) — used by scaling tests."""
+    return load_lubm(universities=2)
+
+
+@pytest.fixture(scope="session")
+def bsbm_small():
+    """A small BSBM dataset."""
+    return load_bsbm(products=60)
+
+
+@pytest.fixture(scope="session")
+def yago_small():
+    """A small YAGO-like dataset."""
+    return load_yago(people=150)
+
+
+@pytest.fixture(scope="session")
+def btc_small():
+    """A small BTC-like dataset."""
+    return load_btc(entities=200)

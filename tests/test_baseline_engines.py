@@ -1,0 +1,157 @@
+"""Baseline engines: index structures, join machinery, and SPARQL answering."""
+
+import pytest
+
+from repro.baselines.bitmap_engine import BitmapEngine, BitmapIndex
+from repro.baselines.join import encode_pattern, hash_join, predicate_variables_of
+from repro.baselines.rdf3x import PermutationIndex, RDF3XEngine
+from repro.baselines.triplebit import TripleBitEngine, VerticalPartitionIndex
+from repro.engine.turbo_engine import TurboHomPPEngine
+from repro.exceptions import EngineError
+from repro.rdf.namespaces import Namespace
+from repro.sparql.ast import TriplePattern, Variable
+from repro.sparql.parser import parse_sparql
+
+EX = Namespace("http://example.org/")
+PREFIX = "PREFIX ex: <http://example.org/> PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> "
+
+ALL_BASELINES = (RDF3XEngine, TripleBitEngine, BitmapEngine)
+
+
+class TestJoinHelpers:
+    def test_encode_pattern_with_variables_and_constants(self, small_rdf_store):
+        dictionary = small_rdf_store.dictionary
+        pattern = TriplePattern(Variable("x"), EX.knows, EX.bob)
+        encoded = encode_pattern(pattern, dictionary)
+        assert encoded[0] == "x"
+        assert encoded[1] == dictionary.lookup_predicate(EX.knows)
+        assert encoded[2] == dictionary.lookup_node(EX.bob)
+
+    def test_encode_pattern_unknown_constant_is_unsatisfiable(self, small_rdf_store):
+        pattern = TriplePattern(Variable("x"), EX.knows, EX.nobody)
+        assert encode_pattern(pattern, small_rdf_store.dictionary) is None
+
+    def test_hash_join_on_shared_variable(self):
+        left = [{"x": 1, "y": 2}, {"x": 3, "y": 4}]
+        right = [{"y": 2, "z": 5}, {"y": 9, "z": 6}]
+        assert hash_join(left, right) == [{"x": 1, "y": 2, "z": 5}]
+
+    def test_hash_join_without_shared_variables_is_cross_product(self):
+        left = [{"x": 1}]
+        right = [{"y": 2}, {"y": 3}]
+        assert len(hash_join(left, right)) == 2
+
+    def test_hash_join_empty_side(self):
+        assert hash_join([], [{"y": 1}]) == []
+
+    def test_predicate_variables_of(self):
+        patterns = [
+            TriplePattern(Variable("s"), Variable("p"), EX.o),
+            TriplePattern(Variable("s"), EX.knows, Variable("o")),
+        ]
+        assert predicate_variables_of(patterns) == ["p"]
+
+
+class TestIndexStructures:
+    def test_permutation_index_scans(self, small_rdf_store):
+        index = PermutationIndex(small_rdf_store.iter_triples())
+        dictionary = small_rdf_store.dictionary
+        alice = dictionary.lookup_node(EX.alice)
+        knows = dictionary.lookup_predicate(EX.knows)
+        rows = list(index.scan(alice, knows, None))
+        assert len(rows) == 1
+        assert index.estimate(alice, knows, None) == 1
+        assert index.estimate(None, None, None) == len(small_rdf_store)
+
+    def test_permutation_index_object_bound_scan(self, small_rdf_store):
+        index = PermutationIndex(small_rdf_store.iter_triples())
+        dictionary = small_rdf_store.dictionary
+        acme = dictionary.lookup_node(EX.acme)
+        rows = list(index.scan(None, None, acme))
+        # two worksFor edges plus the rdf:type Company triple has acme as subject, not object
+        assert len(rows) == 2
+
+    def test_vertical_partition_index(self, small_rdf_store):
+        index = VerticalPartitionIndex(small_rdf_store.iter_triples())
+        dictionary = small_rdf_store.dictionary
+        knows = dictionary.lookup_predicate(EX.knows)
+        assert len(list(index.scan(None, knows, None))) == 3
+        assert index.estimate(None, knows, None) == 3
+        carol = dictionary.lookup_node(EX.carol)
+        assert len(list(index.scan(None, knows, carol))) == 1
+        # Variable predicate unions all partitions.
+        assert len(list(index.scan(carol, None, None))) == 2
+
+    def test_bitmap_index(self, small_rdf_store):
+        index = BitmapIndex(small_rdf_store.iter_triples())
+        dictionary = small_rdf_store.dictionary
+        alice = dictionary.lookup_node(EX.alice)
+        knows = dictionary.lookup_predicate(EX.knows)
+        assert list(index.scan(alice, knows, None)) == [
+            (alice, knows, dictionary.lookup_node(EX.bob))
+        ]
+        assert index.estimate(alice, knows, None) == 1
+        assert index.estimate(None, None, None) == len(small_rdf_store)
+
+
+@pytest.mark.parametrize("engine_class", ALL_BASELINES)
+class TestBaselineQueries:
+    @pytest.fixture
+    def reference(self, small_rdf_store):
+        engine = TurboHomPPEngine()
+        engine.load(small_rdf_store)
+        return engine
+
+    def load(self, engine_class, store):
+        engine = engine_class()
+        engine.load(store)
+        return engine
+
+    def test_type_query(self, engine_class, small_rdf_store, reference):
+        query = PREFIX + "SELECT ?p WHERE { ?p rdf:type ex:Person . }"
+        engine = self.load(engine_class, small_rdf_store)
+        assert engine.query(query).same_solutions(reference.query(query))
+
+    def test_triangle_query(self, engine_class, small_rdf_store, reference):
+        query = PREFIX + "SELECT ?x ?y ?z WHERE { ?x ex:knows ?y . ?y ex:knows ?z . ?z ex:knows ?x . }"
+        engine = self.load(engine_class, small_rdf_store)
+        assert engine.query(query).same_solutions(reference.query(query))
+
+    def test_filter_query(self, engine_class, small_rdf_store, reference):
+        query = PREFIX + "SELECT ?x WHERE { ?x ex:age ?a . FILTER (?a > 30) }"
+        engine = self.load(engine_class, small_rdf_store)
+        assert engine.query(query).same_solutions(reference.query(query))
+
+    def test_union_query(self, engine_class, small_rdf_store, reference):
+        query = (
+            PREFIX
+            + "SELECT ?x WHERE { { ?x ex:worksFor ex:acme } UNION { ?x ex:knows ex:alice } }"
+        )
+        engine = self.load(engine_class, small_rdf_store)
+        assert engine.query(query).same_solutions(reference.query(query))
+
+    def test_variable_predicate_query(self, engine_class, small_rdf_store, reference):
+        query = PREFIX + "SELECT ?p ?o WHERE { ex:alice ?p ?o . }"
+        engine = self.load(engine_class, small_rdf_store)
+        assert engine.query(query).same_solutions(reference.query(query))
+
+    def test_empty_result_query(self, engine_class, small_rdf_store):
+        query = PREFIX + "SELECT ?x WHERE { ?x ex:knows ex:nobody . }"
+        engine = self.load(engine_class, small_rdf_store)
+        assert len(engine.query(query)) == 0
+
+
+class TestOptionalSupport:
+    def test_open_source_baselines_reject_optional(self, small_rdf_store):
+        query = PREFIX + "SELECT ?x ?a WHERE { ?x rdf:type ex:Person . OPTIONAL { ?x ex:age ?a } }"
+        for engine_class in (RDF3XEngine, TripleBitEngine):
+            engine = engine_class()
+            engine.load(small_rdf_store)
+            with pytest.raises(EngineError):
+                engine.query(query)
+
+    def test_bitmap_engine_supports_optional(self, small_rdf_store):
+        query = PREFIX + "SELECT ?x ?a WHERE { ?x rdf:type ex:Person . OPTIONAL { ?x ex:age ?a } }"
+        engine = BitmapEngine()
+        engine.load(small_rdf_store)
+        assert len(engine.query(query)) == 3

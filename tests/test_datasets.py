@@ -1,0 +1,129 @@
+"""Benchmark dataset generators: determinism, schema shape, query answerability."""
+
+import pytest
+
+from repro.datasets import load_bsbm, load_btc, load_lubm, load_yago
+from repro.datasets.lubm.generator import LUBMGenerator, LUBMProfile
+from repro.datasets.lubm.ontology import UB, build_ontology
+from repro.datasets.lubm.queries import (
+    CONSTANT_SOLUTION_QUERIES,
+    INCREASING_SOLUTION_QUERIES,
+    LUBM_QUERIES,
+)
+from repro.engine.turbo_engine import TurboHomPPEngine
+from repro.rdf.namespaces import RDF
+
+
+class TestLUBMGenerator:
+    def test_deterministic_for_same_seed(self):
+        first = LUBMGenerator(universities=1, seed=3).generate()
+        second = LUBMGenerator(universities=1, seed=3).generate()
+        assert first == second
+
+    def test_different_seed_changes_data(self):
+        first = set(LUBMGenerator(universities=1, seed=3).generate())
+        second = set(LUBMGenerator(universities=1, seed=4).generate())
+        assert first != second
+
+    def test_scaling_with_universities(self):
+        small = len(LUBMGenerator(universities=1).generate())
+        large = len(LUBMGenerator(universities=3).generate())
+        assert large > 2.5 * small
+
+    def test_department_population(self):
+        triples = LUBMGenerator(universities=1).generate()
+        profile = LUBMProfile()
+        undergrads = sum(
+            1 for t in triples if t.predicate == RDF.type and t.object == UB.UndergraduateStudent
+        )
+        expected = profile.departments_per_university * profile.undergraduate_students
+        assert undergrads == expected
+
+    def test_department0_entities_exist(self):
+        triples = set(LUBMGenerator(universities=2).generate())
+        subjects = {str(t.subject) for t in triples}
+        assert "http://www.Department0.University0.edu/GraduateCourse0" in {
+            str(t.object) for t in triples
+        } | subjects
+        assert "http://www.Department0.University0.edu/AssistantProfessor0" in subjects
+
+    def test_ontology_hierarchy(self):
+        ontology = build_ontology()
+        assert UB.Student in ontology.superclasses(UB.GraduateStudent)
+        assert UB.Person in ontology.superclasses(UB.FullProfessor)
+        assert UB.degreeFrom in ontology.superproperties(UB.undergraduateDegreeFrom)
+        assert UB.hasAlumnus in ontology.inverses(UB.degreeFrom)
+
+    def test_loader_applies_inference(self):
+        with_inference = load_lubm(universities=1)
+        without = load_lubm(universities=1, apply_inference=False)
+        assert with_inference.total_triples > without.total_triples
+        assert with_inference.original_triples == without.original_triples
+
+
+class TestLUBMQueries:
+    def test_all_fourteen_queries_present(self, lubm1):
+        assert list(lubm1.queries) == [f"Q{i}" for i in range(1, 15)]
+        assert set(CONSTANT_SOLUTION_QUERIES) | set(INCREASING_SOLUTION_QUERIES) == set(LUBM_QUERIES)
+
+    @pytest.mark.parametrize("query_id", sorted(LUBM_QUERIES))
+    def test_every_query_has_solutions(self, lubm1, query_id):
+        engine = TurboHomPPEngine()
+        engine.load(lubm1.store)
+        assert len(engine.query(lubm1.queries[query_id])) > 0
+
+    def test_constant_vs_increasing_split(self, lubm1, lubm2):
+        small_engine = TurboHomPPEngine()
+        small_engine.load(lubm1.store)
+        large_engine = TurboHomPPEngine()
+        large_engine.load(lubm2.store)
+        for query_id in CONSTANT_SOLUTION_QUERIES:
+            assert small_engine.count(lubm1.queries[query_id]) == large_engine.count(
+                lubm2.queries[query_id]
+            ), f"{query_id} should not grow with the scale factor"
+        for query_id in INCREASING_SOLUTION_QUERIES:
+            assert large_engine.count(lubm2.queries[query_id]) > small_engine.count(
+                lubm1.queries[query_id]
+            ), f"{query_id} should grow with the scale factor"
+
+
+class TestOtherDatasets:
+    def test_bsbm_generation_and_queries(self, bsbm_small):
+        assert bsbm_small.total_triples > 1000
+        assert len(bsbm_small.queries) == 12
+        engine = TurboHomPPEngine()
+        engine.load(bsbm_small.store)
+        non_empty = sum(
+            1 for sparql in bsbm_small.queries.values() if len(engine.query(sparql)) > 0
+        )
+        assert non_empty >= 10  # a couple of filter-heavy queries may legitimately be empty
+
+    def test_bsbm_deterministic(self):
+        assert load_bsbm(products=30).total_triples == load_bsbm(products=30).total_triples
+
+    def test_yago_generation_and_queries(self, yago_small):
+        assert len(yago_small.queries) == 8
+        engine = TurboHomPPEngine()
+        engine.load(yago_small.store)
+        counts = {qid: len(engine.query(q)) for qid, q in yago_small.queries.items()}
+        assert counts["Q3"] > 0          # writers and their books always exist
+        assert counts["Q7"] > 0          # actors in films
+        assert counts["Q2"] == 0         # the deliberately empty query
+
+    def test_btc_generation_and_queries(self, btc_small):
+        assert len(btc_small.queries) == 8
+        engine = TurboHomPPEngine()
+        engine.load(btc_small.store)
+        assert len(engine.query(btc_small.queries["Q1"])) >= 0
+        assert len(engine.query(btc_small.queries["Q4"])) > 0
+
+    def test_btc_loader_skips_inference(self, btc_small):
+        # No inference is applied, so the store can only shrink (duplicate
+        # generated triples collapse) and never grow.
+        assert btc_small.total_triples <= btc_small.original_triples
+        assert btc_small.ontology is None
+
+    def test_dataset_container_helpers(self, lubm1):
+        assert lubm1.query_ids()[0] == "Q1"
+        assert lubm1.name == "LUBM(1)"
+        assert lubm1.total_triples == len(lubm1.store)

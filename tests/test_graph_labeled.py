@@ -1,0 +1,164 @@
+"""Labeled graph storage: adjacency grouping, label index, predicate index."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import GraphError
+from repro.graph.labeled_graph import GraphBuilder, LabeledGraph
+
+A, B, C = 0, 1, 2
+E1, E2 = 0, 1
+
+
+@pytest.fixture
+def graph():
+    builder = GraphBuilder()
+    builder.add_vertex(0, (A,))
+    builder.add_vertex(1, (B,))
+    builder.add_vertex(2, (B, C))
+    builder.add_vertex(3, (C,))
+    builder.add_edge(0, E1, 1)
+    builder.add_edge(0, E1, 2)
+    builder.add_edge(0, E2, 3)
+    builder.add_edge(1, E1, 2)
+    builder.add_edge(2, E2, 3)
+    return builder.build()
+
+
+class TestBuilder:
+    def test_counts(self, graph):
+        assert graph.vertex_count == 4
+        assert graph.edge_count == 5
+
+    def test_negative_vertex_rejected(self):
+        with pytest.raises(GraphError):
+            GraphBuilder().add_vertex(-1)
+
+    def test_duplicate_edges_collapse(self):
+        builder = GraphBuilder()
+        builder.add_edge(0, E1, 1)
+        builder.add_edge(0, E1, 1)
+        graph = builder.build()
+        assert graph.edge_count == 1
+        assert graph.out_neighbors(0, E1) == [1]
+
+    def test_isolated_vertices_allowed(self):
+        builder = GraphBuilder()
+        builder.add_vertex(5, (A,))
+        graph = builder.build()
+        assert graph.vertex_count == 6
+        assert graph.vertex_labels(5) == frozenset((A,))
+        assert graph.vertex_labels(0) == frozenset()
+
+
+class TestAdjacency:
+    def test_out_neighbors_by_edge_label(self, graph):
+        assert graph.out_neighbors(0, E1) == [1, 2]
+        assert graph.out_neighbors(0, E2) == [3]
+
+    def test_out_neighbors_any_label(self, graph):
+        assert graph.out_neighbors(0) == [1, 2, 3]
+
+    def test_in_neighbors(self, graph):
+        assert graph.in_neighbors(2, E1) == [0, 1]
+        assert graph.in_neighbors(3) == [0, 2]
+
+    def test_neighbors_by_type_single_label(self, graph):
+        assert graph.neighbors_by_type(0, E1, frozenset((B,))) == [1, 2]
+        assert graph.neighbors_by_type(0, E1, frozenset((C,))) == [2]
+
+    def test_neighbors_by_type_multiple_labels_intersect(self, graph):
+        assert graph.neighbors_by_type(0, E1, frozenset((B, C))) == [2]
+
+    def test_neighbors_by_type_blank_vertex_label(self, graph):
+        assert graph.neighbors_by_type(0, E1, frozenset()) == [1, 2]
+
+    def test_neighbors_by_type_blank_edge_label(self, graph):
+        assert graph.neighbors_by_type(0, None, frozenset((C,))) == [2, 3]
+        assert graph.neighbors_by_type(0, None, frozenset()) == [1, 2, 3]
+
+    def test_neighbors_by_type_incoming(self, graph):
+        assert graph.neighbors_by_type(3, E2, frozenset((A,)), outgoing=False) == [0]
+
+    def test_has_edge(self, graph):
+        assert graph.has_edge(0, 1, E1)
+        assert not graph.has_edge(1, 0, E1)
+        assert graph.has_edge(0, 3)
+        assert not graph.has_edge(0, 3, E1)
+
+    def test_edge_labels_between(self, graph):
+        assert graph.edge_labels_between(0, 3) == [E2]
+        assert graph.edge_labels_between(3, 0) == []
+
+    def test_degree(self, graph):
+        assert graph.degree(0) == 3
+        assert graph.degree(2) == 3  # two in, one out
+
+    def test_neighbor_type_counts(self, graph):
+        counts = graph.neighbor_type_counts(0)
+        assert counts[(E1, B)] == 2
+        assert counts[(E1, C)] == 1
+
+    def test_iter_edges(self, graph):
+        assert sorted(graph.iter_edges()) == sorted(
+            [(0, E1, 1), (0, E1, 2), (0, E2, 3), (1, E1, 2), (2, E2, 3)]
+        )
+
+
+class TestLabelAndPredicateIndexes:
+    def test_inverse_vertex_label_list(self, graph):
+        assert graph.vertices_with_label(B) == [1, 2]
+        assert graph.vertices_with_label(C) == [2, 3]
+        assert graph.vertices_with_label(99) == []
+
+    def test_vertices_with_multiple_labels(self, graph):
+        assert graph.vertices_with_labels(frozenset((B, C))) == [2]
+        assert graph.vertices_with_labels(frozenset()) == [0, 1, 2, 3]
+
+    def test_label_frequency(self, graph):
+        assert graph.label_frequency(frozenset((B,))) == 2
+        assert graph.label_frequency(frozenset((B, C))) == 1
+        assert graph.label_frequency(frozenset()) == 4
+
+    def test_predicate_index(self, graph):
+        assert graph.predicate_subjects(E1) == [0, 1]
+        assert graph.predicate_objects(E1) == [1, 2]
+        assert graph.predicate_subjects(99) == []
+
+    def test_stats(self, graph):
+        stats = graph.stats()
+        assert stats == {"vertices": 4, "edges": 5, "vertex_labels": 3, "edge_labels": 2}
+
+    def test_mismatched_labels_length_rejected(self):
+        with pytest.raises(GraphError):
+            LabeledGraph(2, [frozenset()], [])
+
+
+class TestAdjacencyProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=15),
+                st.integers(min_value=0, max_value=2),
+                st.integers(min_value=0, max_value=15),
+            ),
+            max_size=60,
+        )
+    )
+    def test_out_in_adjacency_are_consistent(self, edges):
+        builder = GraphBuilder()
+        for source, label, target in edges:
+            builder.add_edge(source, label, target)
+        graph = builder.build()
+        rebuilt_from_out = set(graph.iter_edges())
+        rebuilt_from_in = {
+            (source, label, target)
+            for target in graph.vertices()
+            for label in graph.edge_labels()
+            for source in graph.in_neighbors(target, label)
+        }
+        assert rebuilt_from_out == set(edges) == rebuilt_from_in
+        # Every adjacency list is sorted and duplicate free.
+        for vertex in graph.vertices():
+            neighbours = graph.out_neighbors(vertex)
+            assert neighbours == sorted(set(neighbours))

@@ -1,0 +1,193 @@
+"""Query graph model and the direct / type-aware transformations."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.query_graph import QueryGraph
+from repro.graph.transform import (
+    IMPOSSIBLE,
+    direct_transform,
+    direct_transform_query,
+    transform_stats,
+    type_aware_transform,
+    type_aware_transform_query,
+)
+from repro.rdf.namespaces import Namespace, RDF, RDFS
+from repro.rdf.store import TripleStore
+from repro.rdf.terms import Literal, Triple
+from repro.sparql.parser import parse_sparql
+
+EX = Namespace("http://example.org/")
+
+
+class TestQueryGraph:
+    def test_add_vertex_merges_labels(self):
+        query = QueryGraph()
+        first = query.add_vertex("x", frozenset((1,)))
+        second = query.add_vertex("x", frozenset((2,)))
+        assert first == second
+        assert query.vertices[first].labels == frozenset((1, 2))
+
+    def test_conflicting_vertex_ids_rejected(self):
+        query = QueryGraph()
+        query.add_vertex("x", vertex_id=3)
+        with pytest.raises(GraphError):
+            query.add_vertex("x", vertex_id=4)
+
+    def test_edges_and_degree(self):
+        query = QueryGraph()
+        a = query.add_vertex("a")
+        b = query.add_vertex("b")
+        c = query.add_vertex("c")
+        query.add_edge(a, b, 0)
+        query.add_edge(c, a, 1)
+        assert query.degree(a) == 2
+        assert query.neighbors(a) == {b, c}
+        assert [e.label for e in query.out_edges(a)] == [0]
+        assert [e.label for e in query.in_edges(a)] == [1]
+        assert len(query.edges_between(a, b)) == 1
+
+    def test_connectivity(self):
+        query = QueryGraph()
+        a = query.add_vertex("a")
+        b = query.add_vertex("b")
+        query.add_vertex("c")
+        query.add_edge(a, b, 0)
+        assert not query.is_connected()
+        assert query.connected_components() == [[0, 1], [2]]
+
+    def test_predicate_variables(self):
+        query = QueryGraph()
+        a = query.add_vertex("a")
+        b = query.add_vertex("b")
+        query.add_edge(a, b, None, "p")
+        assert query.predicate_variables() == ["p"]
+
+
+@pytest.fixture
+def typed_store():
+    store = TripleStore()
+    store.load(
+        [
+            Triple(EX.Grad, RDFS.subClassOf, EX.Student),
+            Triple(EX.ann, RDF.type, EX.Grad),
+            Triple(EX.bob, RDF.type, EX.Student),
+            Triple(EX.ann, EX.knows, EX.bob),
+            Triple(EX.ann, EX.name, Literal("Ann")),
+        ]
+    )
+    store.freeze()
+    return store
+
+
+class TestDirectTransform:
+    def test_every_node_is_a_vertex_with_its_own_label(self, typed_store):
+        graph, mapping = direct_transform(typed_store)
+        assert graph.vertex_count == typed_store.dictionary.node_count
+        ann = typed_store.dictionary.lookup_node(EX.ann)
+        assert graph.vertex_labels(ann) == frozenset((ann,))
+        assert mapping.kind == "direct"
+        assert mapping.vertex_for_node(ann) == ann
+
+    def test_every_triple_is_an_edge(self, typed_store):
+        graph, _ = direct_transform(typed_store)
+        assert graph.edge_count == len(typed_store)
+
+    def test_query_transformation(self, typed_store):
+        _, mapping = direct_transform(typed_store)
+        parsed = parse_sparql(
+            "PREFIX ex: <http://example.org/> PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> "
+            "SELECT ?x WHERE { ?x rdf:type ex:Student . ?x ex:knows ?y . }"
+        )
+        result = direct_transform_query(parsed.where.triples, mapping)
+        query = result.query_graph
+        # rdf:type stays an ordinary edge: 4 vertices (x, Student, y, ...) and 2 edges.
+        assert query.edge_count() == 2
+        assert query.vertex_count() == 3
+        assert not result.type_variable_patterns
+
+    def test_unknown_constant_gets_impossible_label(self, typed_store):
+        _, mapping = direct_transform(typed_store)
+        parsed = parse_sparql(
+            "PREFIX ex: <http://example.org/> SELECT ?x WHERE { ?x ex:knows ex:nobody . }"
+        )
+        query = direct_transform_query(parsed.where.triples, mapping).query_graph
+        constant = [v for v in query.vertices if not v.is_variable][0]
+        assert constant.labels == frozenset((IMPOSSIBLE,))
+
+
+class TestTypeAwareTransform:
+    def test_class_vertices_disappear(self, typed_store):
+        graph, mapping = type_aware_transform(typed_store)
+        # Vertices: ann, bob, and the literal "Ann"; Grad/Student are labels only.
+        assert graph.vertex_count == 3
+        assert mapping.vertex_for_node(typed_store.dictionary.lookup_node(EX.Student)) == IMPOSSIBLE
+
+    def test_type_and_subclass_edges_removed(self, typed_store):
+        graph, _ = type_aware_transform(typed_store)
+        assert graph.edge_count == 2  # knows + name
+
+    def test_labels_include_transitive_superclasses(self, typed_store):
+        graph, mapping = type_aware_transform(typed_store)
+        dictionary = typed_store.dictionary
+        ann = mapping.vertex_for_node(dictionary.lookup_node(EX.ann))
+        labels = graph.vertex_labels(ann)
+        assert dictionary.lookup_node(EX.Grad) in labels
+        assert dictionary.lookup_node(EX.Student) in labels
+
+    def test_term_roundtrip_through_mapping(self, typed_store):
+        _, mapping = type_aware_transform(typed_store)
+        ann_vertex = mapping.vertex_for_node(typed_store.dictionary.lookup_node(EX.ann))
+        assert mapping.term_for_vertex(ann_vertex) == EX.ann
+
+    def test_query_type_pattern_folds_into_label(self, typed_store):
+        _, mapping = type_aware_transform(typed_store)
+        parsed = parse_sparql(
+            "PREFIX ex: <http://example.org/> PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> "
+            "SELECT ?x WHERE { ?x rdf:type ex:Student . ?x ex:knows ?y . }"
+        )
+        result = type_aware_transform_query(parsed.where.triples, mapping)
+        query = result.query_graph
+        assert query.vertex_count() == 2
+        assert query.edge_count() == 1
+        x_vertex = query.vertices[query.vertex_index("x")]
+        assert typed_store.dictionary.lookup_node(EX.Student) in x_vertex.labels
+
+    def test_query_constant_uses_id_attribute(self, typed_store):
+        _, mapping = type_aware_transform(typed_store)
+        parsed = parse_sparql(
+            "PREFIX ex: <http://example.org/> SELECT ?y WHERE { ex:ann ex:knows ?y . }"
+        )
+        query = type_aware_transform_query(parsed.where.triples, mapping).query_graph
+        constant = [v for v in query.vertices if not v.is_variable][0]
+        expected = mapping.vertex_for_node(typed_store.dictionary.lookup_node(EX.ann))
+        assert constant.vertex_id == expected
+
+    def test_query_type_variable_pattern_is_deferred(self, typed_store):
+        _, mapping = type_aware_transform(typed_store)
+        parsed = parse_sparql(
+            "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> "
+            "SELECT ?x ?t WHERE { ?x rdf:type ?t . }"
+        )
+        result = type_aware_transform_query(parsed.where.triples, mapping)
+        assert result.type_variable_patterns == [("x", "t")]
+
+    def test_stats_helper_reports_both_transformations(self, typed_store):
+        rows = transform_stats("toy", typed_store)
+        kinds = {row.kind: row for row in rows}
+        assert kinds["type-aware"].edges < kinds["direct"].edges
+
+
+class TestTransformOnLUBM:
+    def test_table1_shape_on_lubm(self, lubm1):
+        direct_graph, _ = direct_transform(lubm1.store)
+        typed_graph, _ = type_aware_transform(lubm1.store)
+        assert typed_graph.edge_count < direct_graph.edge_count
+        assert typed_graph.vertex_count <= direct_graph.vertex_count
+        # Every data triple that is not rdf:type / rdfs:subClassOf survives.
+        type_pred = lubm1.store.dictionary.lookup_predicate(RDF.type)
+        subclass_pred = lubm1.store.dictionary.lookup_predicate(RDFS.subClassOf)
+        schema_edges = sum(
+            1 for _, p, _ in lubm1.store.iter_triples() if p in (type_pred, subclass_pred)
+        )
+        assert typed_graph.edge_count == direct_graph.edge_count - schema_edges

@@ -1,0 +1,96 @@
+"""Cross-engine consistency: every engine returns the same solutions on every
+benchmark query it supports.  This is the repository's strongest correctness
+check — the TurboHOM++ matcher is validated against three independently
+implemented join-based evaluators on four different workloads."""
+
+import pytest
+
+from repro.baselines import BitmapEngine, RDF3XEngine, TripleBitEngine
+from repro.bench.harness import make_engines, run_query, timing_table, compare_engines
+from repro.engine.turbo_engine import TurboHomEngine, TurboHomPPEngine
+from repro.exceptions import EngineError
+from repro.sparql.parser import parse_sparql
+
+
+def _load_all(dataset):
+    engines = []
+    for engine_class in (TurboHomPPEngine, TurboHomEngine, RDF3XEngine, TripleBitEngine, BitmapEngine):
+        engine = engine_class()
+        engine.load(dataset.store)
+        engines.append(engine)
+    return engines
+
+
+def _assert_engines_agree(dataset, query_id):
+    engines = _load_all(dataset)
+    sparql = parse_sparql(dataset.queries[query_id]).strip_modifiers()
+    reference = engines[0].query(sparql)
+    for engine in engines[1:]:
+        try:
+            result = engine.query(sparql)
+        except EngineError:
+            continue  # engine does not support this query's features
+        assert result.same_solutions(reference), (
+            f"{engine.name} disagrees with TurboHOM++ on {dataset.name} {query_id}"
+        )
+    return len(reference)
+
+
+class TestLUBMConsistency:
+    @pytest.mark.parametrize("query_id", [f"Q{i}" for i in range(1, 15)])
+    def test_engines_agree(self, lubm1, query_id):
+        _assert_engines_agree(lubm1, query_id)
+
+
+class TestYAGOConsistency:
+    @pytest.mark.parametrize("query_id", [f"Q{i}" for i in range(1, 9)])
+    def test_engines_agree(self, yago_small, query_id):
+        _assert_engines_agree(yago_small, query_id)
+
+
+class TestBTCConsistency:
+    @pytest.mark.parametrize("query_id", [f"Q{i}" for i in range(1, 9)])
+    def test_engines_agree(self, btc_small, query_id):
+        _assert_engines_agree(btc_small, query_id)
+
+
+class TestBSBMConsistency:
+    @pytest.mark.parametrize("query_id", [f"Q{i}" for i in range(1, 13)])
+    def test_turbohompp_and_bitmap_agree(self, bsbm_small, query_id):
+        turbo = TurboHomPPEngine()
+        bitmap = BitmapEngine()
+        turbo.load(bsbm_small.store)
+        bitmap.load(bsbm_small.store)
+        sparql = parse_sparql(bsbm_small.queries[query_id]).strip_modifiers()
+        assert turbo.query(sparql).same_solutions(bitmap.query(sparql))
+
+
+class TestHarness:
+    def test_run_query_timing(self, lubm1):
+        engine = TurboHomPPEngine()
+        engine.load(lubm1.store)
+        timing = run_query(engine, "Q1", lubm1.queries["Q1"], repeats=3)
+        assert timing.supported
+        assert timing.solutions == 1
+        assert timing.elapsed_ms >= 0.0
+
+    def test_run_query_reports_unsupported(self, bsbm_small):
+        engine = RDF3XEngine()
+        engine.load(bsbm_small.store)
+        timing = run_query(engine, "Q3", bsbm_small.queries["Q3"], repeats=1)
+        assert not timing.supported
+        assert timing.solutions is None
+
+    def test_compare_engines_and_table(self, lubm1):
+        engines = make_engines()
+        timings = compare_engines(lubm1, engines, query_ids=["Q1", "Q5"], repeats=1)
+        assert set(timings) == {"Q1", "Q5"}
+        table = timing_table("demo", timings, engines)
+        assert table.columns[0] == "query"
+        assert len(table.rows) == 2
+        text = table.to_text()
+        assert "TurboHOM++" in text and "Q5" in text
+
+    def test_make_engines_lineup(self):
+        names = [engine.name for engine in make_engines(include_turbohom=True)]
+        assert names == ["TurboHOM++", "TurboHOM", "RDF-3X", "TripleBit", "System-X*"]

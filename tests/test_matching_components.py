@@ -1,0 +1,281 @@
+"""Unit tests for the matching pipeline stages: filters, query tree, start
+vertex selection, candidate regions, matching order (Figure 2), config."""
+
+import pytest
+
+from repro.graph.labeled_graph import GraphBuilder
+from repro.graph.query_graph import QueryGraph
+from repro.matching.candidate_region import explore_candidate_region
+from repro.matching.config import MatchConfig
+from repro.matching.filters import degree_filter, nlf_filter, query_neighbor_types
+from repro.matching.matching_order import determine_matching_order, path_cardinality
+from repro.matching.query_tree import write_query_tree
+from repro.matching.start_vertex import (
+    candidate_start_vertices,
+    choose_start_vertex,
+    estimate_frequency,
+)
+
+# Labels for the Figure 2 example graph.
+A, X, Y, Z = 0, 1, 2, 3
+EDGE = 0
+
+
+def figure2_data_graph(xs=10, ys=100, zs=5):
+    """The data graph g2 of Figure 2 (scaled down: 10 Xs, 100 Ys, 5 Zs)."""
+    builder = GraphBuilder()
+    builder.add_vertex(0, (A,))
+    next_id = 1
+    for _ in range(xs):
+        builder.add_vertex(next_id, (X,))
+        builder.add_edge(0, EDGE, next_id)
+        next_id += 1
+    for _ in range(ys):
+        builder.add_vertex(next_id, (Y,))
+        builder.add_edge(0, EDGE, next_id)
+        next_id += 1
+    for _ in range(zs):
+        builder.add_vertex(next_id, (Z,))
+        builder.add_edge(0, EDGE, next_id)
+        next_id += 1
+    return builder.build()
+
+
+def figure2_query_graph() -> QueryGraph:
+    """q2: u0{A} with children u1{X}, u2{Y}, u3{Z} plus non-tree edges between them."""
+    query = QueryGraph()
+    u0 = query.add_vertex("u0", frozenset((A,)))
+    u1 = query.add_vertex("u1", frozenset((X,)))
+    u2 = query.add_vertex("u2", frozenset((Y,)))
+    u3 = query.add_vertex("u3", frozenset((Z,)))
+    query.add_edge(u0, u1, EDGE)
+    query.add_edge(u0, u2, EDGE)
+    query.add_edge(u0, u3, EDGE)
+    query.add_edge(u1, u2, EDGE)
+    query.add_edge(u1, u3, EDGE)
+    query.add_edge(u2, u3, EDGE)
+    return query
+
+
+class TestConfig:
+    def test_factory_presets(self):
+        iso = MatchConfig.isomorphism()
+        assert not iso.homomorphism and iso.use_nlf_filter and iso.use_degree_filter
+        hompp = MatchConfig.turbo_hom_pp()
+        assert hompp.homomorphism and hompp.use_intersection
+        assert not hompp.use_nlf_filter and not hompp.use_degree_filter
+        assert hompp.reuse_matching_order
+
+    def test_without_disables_one_optimization(self):
+        config = MatchConfig.turbo_hom_pp()
+        assert not config.without("INT").use_intersection
+        assert config.without("NLF").use_nlf_filter
+        assert config.without("DEG").use_degree_filter
+        assert not config.without("+REUSE").reuse_matching_order
+
+    def test_with_only_enables_exactly_one(self):
+        config = MatchConfig().with_only("INT")
+        assert config.use_intersection and config.use_nlf_filter and config.use_degree_filter
+        assert not config.reuse_matching_order
+
+    def test_unknown_optimization_rejected(self):
+        with pytest.raises(ValueError):
+            MatchConfig().without("FOO")
+        with pytest.raises(ValueError):
+            MatchConfig().with_only("BAR")
+
+
+class TestFilters:
+    @pytest.fixture
+    def setup(self):
+        builder = GraphBuilder()
+        builder.add_vertex(0, (A,))
+        builder.add_vertex(1, (X,))
+        builder.add_vertex(2, (X,))
+        builder.add_vertex(3, (Y,))
+        builder.add_edge(0, EDGE, 1)
+        builder.add_edge(0, EDGE, 2)
+        builder.add_edge(0, EDGE, 3)
+        graph = builder.build()
+        query = QueryGraph()
+        u0 = query.add_vertex("u0", frozenset((A,)))
+        u1 = query.add_vertex("u1", frozenset((X,)))
+        u2 = query.add_vertex("u2", frozenset((X,)))
+        query.add_edge(u0, u1, EDGE)
+        query.add_edge(u0, u2, EDGE)
+        return graph, query
+
+    def test_query_neighbor_types(self, setup):
+        _, query = setup
+        types = query_neighbor_types(query, 0)
+        assert types[(True, EDGE, X)] == 2
+
+    def test_degree_filter_isomorphism_vs_homomorphism(self, setup):
+        graph, query = setup
+        # Data vertex 0 has degree 3, query vertex u0 has degree 2 → passes both.
+        assert degree_filter(graph, query, 0, 0, homomorphism=False)
+        assert degree_filter(graph, query, 0, 0, homomorphism=True)
+        # Data vertex 1 (degree 1) fails the isomorphism degree test for u0.
+        assert not degree_filter(graph, query, 0, 1, homomorphism=False)
+
+    def test_nlf_filter_isomorphism_needs_count(self, setup):
+        graph, query = setup
+        # u0 needs two X-neighbours under isomorphism; vertex 0 has exactly 2.
+        assert nlf_filter(graph, query, 0, 0, homomorphism=False)
+        # Under homomorphism one X-neighbour suffices; vertex 3 has none at all.
+        assert not nlf_filter(graph, query, 0, 3, homomorphism=True)
+
+    def test_nlf_filter_homomorphism_is_weaker(self):
+        builder = GraphBuilder()
+        builder.add_vertex(0, (A,))
+        builder.add_vertex(1, (X,))
+        builder.add_edge(0, EDGE, 1)
+        graph = builder.build()
+        query = QueryGraph()
+        u0 = query.add_vertex("u0", frozenset((A,)))
+        u1 = query.add_vertex("u1", frozenset((X,)))
+        u2 = query.add_vertex("u2", frozenset((X,)))
+        query.add_edge(u0, u1, EDGE)
+        query.add_edge(u0, u2, EDGE)
+        # One X neighbour: enough for homomorphism, not for isomorphism.
+        assert nlf_filter(graph, query, 0, 0, homomorphism=True)
+        assert not nlf_filter(graph, query, 0, 0, homomorphism=False)
+
+
+class TestQueryTree:
+    def test_bfs_tree_and_non_tree_edges(self):
+        query = figure2_query_graph()
+        tree = write_query_tree(query, 0)
+        assert tree.root == 0
+        assert set(tree.children[0]) == {1, 2, 3}
+        # q2 has 6 edges; 3 tree edges → 3 non-tree edges.
+        assert len(tree.non_tree_edges) == 3
+
+    def test_paths_cover_all_vertices(self):
+        query = figure2_query_graph()
+        tree = write_query_tree(query, 0)
+        paths = tree.paths()
+        assert all(path[0] == 0 for path in paths)
+        assert {vertex for path in paths for vertex in path} == {0, 1, 2, 3}
+
+    def test_parallel_edges_become_non_tree_edges(self):
+        query = QueryGraph()
+        a = query.add_vertex("a")
+        b = query.add_vertex("b")
+        query.add_edge(a, b, 0)
+        query.add_edge(a, b, 1)
+        tree = write_query_tree(query, a)
+        assert len(tree.non_tree_edges) == 1
+
+    def test_tree_edge_direction_flag(self):
+        query = QueryGraph()
+        a = query.add_vertex("a")
+        b = query.add_vertex("b")
+        query.add_edge(b, a, 0)  # edge points b -> a
+        tree = write_query_tree(query, a)
+        assert tree.tree_edges[b].outgoing_from_parent is False
+
+
+class TestStartVertex:
+    def test_figure2_start_vertex_is_u0(self):
+        graph = figure2_data_graph()
+        query = figure2_query_graph()
+        config = MatchConfig.turbo_hom_pp()
+        start, candidates = choose_start_vertex(graph, query, config)
+        assert start == 0  # u0 has the single candidate region
+        assert candidates == [0]
+
+    def test_estimate_frequency_uses_labels(self):
+        graph = figure2_data_graph()
+        query = figure2_query_graph()
+        assert estimate_frequency(graph, query, 0) == 1
+        assert estimate_frequency(graph, query, 2) == 100
+
+    def test_vertex_with_id_has_frequency_one(self):
+        graph = figure2_data_graph()
+        query = QueryGraph()
+        query.add_vertex("c", vertex_id=0, is_variable=False)
+        assert estimate_frequency(graph, query, 0) == 1
+        assert candidate_start_vertices(graph, query, 0) == [0]
+
+    def test_vertex_with_invalid_id_has_no_candidates(self):
+        graph = figure2_data_graph()
+        query = QueryGraph()
+        query.add_vertex("c", vertex_id=10_000, is_variable=False)
+        assert estimate_frequency(graph, query, 0) == 0
+        assert candidate_start_vertices(graph, query, 0) == []
+
+    def test_unlabeled_vertex_uses_predicate_index(self):
+        graph = figure2_data_graph()
+        query = QueryGraph()
+        u = query.add_vertex("u")          # no label, no id
+        v = query.add_vertex("v", frozenset((Z,)))
+        query.add_edge(u, v, EDGE)
+        # u's frequency comes from the predicate index (all EDGE subjects = 1 hub).
+        assert estimate_frequency(graph, query, 0) == 1
+
+
+class TestCandidateRegionAndOrder:
+    def test_region_sizes_reflect_selectivity(self):
+        graph = figure2_data_graph()
+        query = figure2_query_graph()
+        tree = write_query_tree(query, 0)
+        region = explore_candidate_region(graph, query, tree, MatchConfig.turbo_hom_pp(), 0)
+        assert region is not None
+        assert region.count(1) == 10
+        assert region.count(2) == 100
+        assert region.count(3) == 5
+
+    def test_matching_order_prefers_selective_paths(self):
+        graph = figure2_data_graph()
+        query = figure2_query_graph()
+        tree = write_query_tree(query, 0)
+        region = explore_candidate_region(graph, query, tree, MatchConfig.turbo_hom_pp(), 0)
+        order = determine_matching_order(tree, region)
+        # The paper's example: <u0, u3, u1, u2> (fewest candidates first).
+        assert order == [0, 3, 1, 2]
+
+    def test_path_cardinality(self):
+        graph = figure2_data_graph()
+        query = figure2_query_graph()
+        tree = write_query_tree(query, 0)
+        region = explore_candidate_region(graph, query, tree, MatchConfig.turbo_hom_pp(), 0)
+        assert path_cardinality(region, [0, 2]) == 100
+
+    def test_empty_region_returns_none(self):
+        graph = figure2_data_graph(zs=0)  # no Z vertices at all
+        query = figure2_query_graph()
+        tree = write_query_tree(query, 0)
+        region = explore_candidate_region(graph, query, tree, MatchConfig.turbo_hom_pp(), 0)
+        assert region is None
+
+    def test_exploration_prunes_dead_branches(self):
+        # A Y vertex exists but has no outgoing structure; region exploration
+        # only records candidates that can complete the whole subtree.
+        builder = GraphBuilder()
+        builder.add_vertex(0, (A,))
+        builder.add_vertex(1, (X,))
+        builder.add_vertex(2, (Y,))
+        builder.add_edge(0, EDGE, 1)
+        builder.add_edge(0, EDGE, 2)
+        builder.add_edge(1, EDGE, 2)
+        graph = builder.build()
+        query = QueryGraph()
+        u0 = query.add_vertex("u0", frozenset((A,)))
+        u1 = query.add_vertex("u1", frozenset((X,)))
+        u2 = query.add_vertex("u2", frozenset((Y,)))
+        query.add_edge(u0, u1, EDGE)
+        query.add_edge(u1, u2, EDGE)
+        tree = write_query_tree(query, u0)
+        region = explore_candidate_region(graph, query, tree, MatchConfig.turbo_hom_pp(), 0)
+        assert region.get(u1, 0) == [1]
+
+    def test_vertex_predicate_pushdown_restricts_candidates(self):
+        graph = figure2_data_graph()
+        query = figure2_query_graph()
+        tree = write_query_tree(query, 0)
+        predicates = {2: lambda v: v % 2 == 0}  # only even Y vertices allowed
+        region = explore_candidate_region(
+            graph, query, tree, MatchConfig.turbo_hom_pp(), 0, predicates
+        )
+        assert all(v % 2 == 0 for v in region.get(2, 0))

@@ -1,0 +1,135 @@
+"""Dictionary encoding and the in-memory triple store."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rdf.dictionary import Dictionary
+from repro.rdf.namespaces import Namespace, RDF
+from repro.rdf.store import TripleStore
+from repro.rdf.terms import IRI, Literal, Triple
+
+EX = Namespace("http://example.org/")
+
+
+class TestDictionary:
+    def test_encode_is_stable(self):
+        dictionary = Dictionary()
+        first = dictionary.encode_node(EX.a)
+        second = dictionary.encode_node(EX.a)
+        assert first == second
+
+    def test_ids_are_dense(self):
+        dictionary = Dictionary()
+        ids = [dictionary.encode_node(EX[f"n{i}"]) for i in range(5)]
+        assert ids == list(range(5))
+
+    def test_predicates_have_their_own_id_space(self):
+        dictionary = Dictionary()
+        node_id = dictionary.encode_node(EX.p)
+        pred_id = dictionary.encode_predicate(EX.p)
+        assert node_id == 0 and pred_id == 0
+        assert dictionary.node_count == 1 and dictionary.predicate_count == 1
+
+    def test_lookup_unknown_returns_none(self):
+        dictionary = Dictionary()
+        assert dictionary.lookup_node(EX.missing) is None
+        assert dictionary.lookup_predicate(EX.missing) is None
+
+    def test_roundtrip_triple(self):
+        dictionary = Dictionary()
+        triple = Triple(EX.s, EX.p, Literal("x"))
+        assert dictionary.decode_triple(dictionary.encode_triple(triple)) == triple
+
+    def test_is_literal(self):
+        dictionary = Dictionary()
+        literal_id = dictionary.encode_node(Literal("5"))
+        iri_id = dictionary.encode_node(EX.a)
+        assert dictionary.is_literal(literal_id)
+        assert not dictionary.is_literal(iri_id)
+
+    @given(st.lists(st.integers(min_value=0, max_value=40), min_size=1, max_size=60))
+    def test_encoding_is_injective(self, indexes):
+        dictionary = Dictionary()
+        terms = [EX[f"node{i}"] for i in indexes]
+        encoded = [dictionary.encode_node(term) for term in terms]
+        decoded = [dictionary.decode_node(node_id) for node_id in encoded]
+        assert decoded == terms
+        assert dictionary.node_count == len(set(terms))
+
+
+class TestTripleStore:
+    @pytest.fixture
+    def store(self):
+        store = TripleStore()
+        store.load(
+            [
+                Triple(EX.a, EX.knows, EX.b),
+                Triple(EX.a, EX.knows, EX.c),
+                Triple(EX.b, EX.knows, EX.c),
+                Triple(EX.a, RDF.type, EX.Person),
+                Triple(EX.a, EX.name, Literal("A")),
+            ]
+        )
+        store.freeze()
+        return store
+
+    def test_len_counts_distinct_triples(self, store):
+        assert len(store) == 5
+
+    def test_duplicate_add_is_ignored(self, store):
+        assert store.add(Triple(EX.a, EX.knows, EX.b)) is False
+        assert len(store) == 5
+
+    def test_match_by_subject(self, store):
+        d = store.dictionary
+        a = d.lookup_node(EX.a)
+        # knows b, knows c, rdf:type Person, name "A"
+        assert len(list(store.match(subject=a))) == 4
+
+    def test_match_by_predicate(self, store):
+        knows = store.dictionary.lookup_predicate(EX.knows)
+        assert len(list(store.match(predicate=knows))) == 3
+
+    def test_match_by_object(self, store):
+        c = store.dictionary.lookup_node(EX.c)
+        assert len(list(store.match(obj=c))) == 2
+
+    def test_match_fully_bound(self, store):
+        d = store.dictionary
+        results = list(
+            store.match(d.lookup_node(EX.a), d.lookup_predicate(EX.knows), d.lookup_node(EX.b))
+        )
+        assert len(results) == 1
+
+    def test_match_wildcard_everything(self, store):
+        assert len(list(store.match())) == 5
+
+    def test_objects_are_sorted(self, store):
+        d = store.dictionary
+        objects = store.objects(d.lookup_node(EX.a), d.lookup_predicate(EX.knows))
+        assert objects == sorted(objects)
+        assert len(objects) == 2
+
+    def test_subjects_index(self, store):
+        d = store.dictionary
+        subjects = store.subjects(d.lookup_predicate(EX.knows), d.lookup_node(EX.c))
+        assert len(subjects) == 2
+
+    def test_predicates_between(self, store):
+        d = store.dictionary
+        predicates = store.predicates_between(d.lookup_node(EX.a), d.lookup_node(EX.b))
+        assert predicates == [d.lookup_predicate(EX.knows)]
+
+    def test_count_with_pattern(self, store):
+        knows = store.dictionary.lookup_predicate(EX.knows)
+        assert store.count(predicate=knows) == 3
+        assert store.count() == 5
+
+    def test_decode_all_roundtrip(self, store):
+        decoded = set(store.decode_all())
+        assert Triple(EX.a, EX.name, Literal("A")) in decoded
+        assert len(decoded) == 5
+
+    def test_contains_encoded(self, store):
+        encoded = next(iter(store.triples))
+        assert encoded in store

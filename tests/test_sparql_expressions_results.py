@@ -1,0 +1,150 @@
+"""FILTER expression evaluation and result-set containers."""
+
+import pytest
+
+from repro.exceptions import ExpressionError
+from repro.rdf.namespaces import Namespace, XSD
+from repro.rdf.terms import IRI, Literal
+from repro.sparql import expressions as expr
+from repro.sparql.results import ResultSet
+
+EX = Namespace("http://example.org/")
+
+
+class TestExpressionEvaluation:
+    def test_numeric_comparison_on_typed_literals(self):
+        condition = expr.Comparison(">", expr.Var("x"), expr.Constant(5))
+        assert condition.evaluate({"x": Literal("7", XSD.integer)}) is True
+        assert condition.evaluate({"x": Literal("3", XSD.integer)}) is False
+
+    def test_equality_on_iris(self):
+        condition = expr.Comparison("=", expr.Var("x"), expr.Constant(IRI("http://example.org/a")))
+        assert condition.evaluate({"x": EX.a}) is True
+        assert condition.evaluate({"x": EX.b}) is False
+
+    def test_string_vs_number_comparison_coerces(self):
+        condition = expr.Comparison("<", expr.Var("x"), expr.Constant(10))
+        assert condition.evaluate({"x": Literal("9")}) is True
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(ExpressionError):
+            expr.Var("missing").evaluate({})
+
+    def test_arithmetic(self):
+        condition = expr.Arithmetic("+", expr.Constant(2), expr.Arithmetic("*", expr.Constant(3), expr.Constant(4)))
+        assert condition.evaluate({}) == 14
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ExpressionError):
+            expr.Arithmetic("/", expr.Constant(1), expr.Constant(0)).evaluate({})
+
+    def test_and_or_not(self):
+        true = expr.Constant(True)
+        false = expr.Constant(False)
+        assert expr.And(true, true).evaluate({}) is True
+        assert expr.And(true, false).evaluate({}) is False
+        assert expr.Or(false, true).evaluate({}) is True
+        assert expr.Not(false).evaluate({}) is True
+
+    def test_bound(self):
+        assert expr.Bound("x").evaluate({"x": EX.a}) is True
+        assert expr.Bound("x").evaluate({"x": None}) is False
+        assert expr.Bound("x").evaluate({}) is False
+
+    def test_regex(self):
+        condition = expr.Regex(expr.Var("x"), "^ab.*z$")
+        assert condition.evaluate({"x": Literal("abcz")}) is True
+        assert condition.evaluate({"x": Literal("bcz")}) is False
+
+    def test_regex_case_insensitive_flag(self):
+        condition = expr.Regex(expr.Var("x"), "hello", "i")
+        assert condition.evaluate({"x": Literal("HELLO world")}) is True
+
+    def test_langmatches(self):
+        condition = expr.LangMatches("x", "en")
+        assert condition.evaluate({"x": Literal("hi", None, "en")}) is True
+        assert condition.evaluate({"x": Literal("hi", None, "en-US")}) is True
+        assert condition.evaluate({"x": Literal("hallo", None, "de")}) is False
+        assert condition.evaluate({"x": Literal("plain")}) is False
+
+    def test_evaluate_filter_treats_errors_as_false(self):
+        condition = expr.Comparison(">", expr.Var("missing"), expr.Constant(1))
+        assert expr.evaluate_filter(condition, {}) is False
+
+    def test_expensive_classification(self):
+        single = expr.Comparison(">", expr.Var("x"), expr.Constant(1))
+        join = expr.Comparison(">", expr.Var("x"), expr.Var("y"))
+        regex = expr.Regex(expr.Var("x"), "a")
+        assert not single.is_expensive()
+        assert join.is_expensive()
+        assert regex.is_expensive()
+
+    def test_split_filters(self):
+        cheap = expr.Comparison(">", expr.Var("x"), expr.Constant(1))
+        costly = expr.Regex(expr.Var("x"), "a")
+        inexpensive, expensive = expr.split_filters([cheap, costly])
+        assert inexpensive == [cheap]
+        assert expensive == [costly]
+
+    def test_variables_collection(self):
+        condition = expr.And(
+            expr.Comparison(">", expr.Var("x"), expr.Var("y")),
+            expr.Not(expr.Bound("z")),
+        )
+        assert set(condition.variables()) == {"x", "y", "z"}
+
+
+class TestResultSet:
+    def make(self):
+        return ResultSet(
+            ["x", "y"],
+            [
+                {"x": EX.a, "y": Literal("1", XSD.integer)},
+                {"x": EX.b, "y": Literal("2", XSD.integer)},
+                {"x": EX.a, "y": Literal("1", XSD.integer)},
+                {"x": EX.c, "y": None},
+            ],
+        )
+
+    def test_len_iter_bool(self):
+        result = self.make()
+        assert len(result) == 4 and bool(result)
+        assert len(list(result)) == 4
+        assert not ResultSet(["x"])
+
+    def test_distinct(self):
+        assert len(self.make().distinct()) == 3
+
+    def test_project(self):
+        projected = self.make().project(["x"])
+        assert projected.variables == ["x"]
+        assert all(set(row) == {"x"} for row in projected)
+
+    def test_order_by_with_nulls_first(self):
+        ordered = self.make().order_by([("y", True)])
+        assert ordered.rows[0]["y"] is None
+
+    def test_order_by_descending(self):
+        ordered = self.make().order_by([("y", False)])
+        assert ordered.rows[0]["y"] == Literal("2", XSD.integer)
+
+    def test_slice(self):
+        sliced = self.make().slice(limit=2, offset=1)
+        assert len(sliced) == 2
+
+    def test_same_solutions_is_order_insensitive(self):
+        left = self.make()
+        right = ResultSet(["y", "x"], list(reversed(left.rows)))
+        assert left.same_solutions(right)
+
+    def test_same_solutions_detects_multiplicity(self):
+        left = self.make()
+        right = ResultSet(["x", "y"], left.rows[:3])
+        assert not left.same_solutions(right)
+
+    def test_same_solutions_requires_same_variables(self):
+        assert not self.make().same_solutions(ResultSet(["x"], [{"x": EX.a}]))
+
+    def test_as_multiset(self):
+        counts = self.make().as_multiset()
+        assert counts[(EX.a, Literal("1", XSD.integer))] == 2

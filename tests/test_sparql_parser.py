@@ -1,0 +1,184 @@
+"""SPARQL tokenizer and parser."""
+
+import pytest
+
+from repro.exceptions import SPARQLSyntaxError
+from repro.rdf.namespaces import RDF, XSD
+from repro.rdf.terms import IRI, Literal
+from repro.sparql import expressions as expr
+from repro.sparql.ast import Variable
+from repro.sparql.parser import parse_sparql
+from repro.sparql.tokenizer import tokenize
+
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        kinds = [t.kind for t in tokenize("SELECT ?x WHERE { ?x a <http://C> . }")]
+        assert kinds == ["KEYWORD", "VAR", "KEYWORD", "OP", "VAR", "A", "IRI", "OP", "OP", "EOF"]
+
+    def test_comment_skipped(self):
+        tokens = tokenize("SELECT ?x # comment\nWHERE")
+        assert [t.text for t in tokens[:3]] == ["SELECT", "?x", "WHERE"]
+
+    def test_operators(self):
+        texts = [t.text for t in tokenize("FILTER (?a >= 3 && ?b != ?c)")][:-1]
+        assert ">=" in texts and "&&" in texts and "!=" in texts
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(SPARQLSyntaxError):
+            tokenize("SELECT ?x WHERE { ?x ~ ?y }")
+
+
+class TestParserBasics:
+    def test_simple_bgp(self):
+        query = parse_sparql(
+            "PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x ex:p ex:o . }"
+        )
+        assert query.variables == [Variable("x")]
+        pattern = query.where.triples[0]
+        assert pattern.predicate == IRI("http://ex/p")
+        assert pattern.object == IRI("http://ex/o")
+
+    def test_select_star(self):
+        query = parse_sparql("SELECT * WHERE { ?s ?p ?o . }")
+        assert query.variables is None
+        assert set(query.projection()) == {"s", "p", "o"}
+
+    def test_a_keyword_is_rdf_type(self):
+        query = parse_sparql("SELECT ?s WHERE { ?s a <http://ex/C> . }")
+        assert query.where.triples[0].predicate == RDF.type
+
+    def test_distinct_flag(self):
+        assert parse_sparql("SELECT DISTINCT ?s WHERE { ?s ?p ?o }").distinct
+
+    def test_semicolon_and_comma_abbreviations(self):
+        query = parse_sparql(
+            "PREFIX ex: <http://ex/> SELECT ?s WHERE { ?s ex:p ?a , ?b ; ex:q ?c . }"
+        )
+        assert len(query.where.triples) == 3
+        subjects = {p.subject for p in query.where.triples}
+        assert subjects == {Variable("s")}
+
+    def test_literal_objects(self):
+        query = parse_sparql(
+            'SELECT ?s WHERE { ?s <http://p> "text" . ?s <http://q> 5 . ?s <http://r> 2.5 . }'
+        )
+        objects = [p.object for p in query.where.triples]
+        assert objects[0] == Literal("text")
+        assert objects[1] == Literal("5", XSD.integer)
+        assert objects[2] == Literal("2.5", XSD.double)
+
+    def test_typed_and_language_literals(self):
+        query = parse_sparql(
+            'PREFIX xsd: <http://www.w3.org/2001/XMLSchema#> '
+            'SELECT ?s WHERE { ?s <http://p> "5"^^xsd:integer . ?s <http://q> "hi"@en . }'
+        )
+        assert query.where.triples[0].object == Literal("5", XSD.integer)
+        assert query.where.triples[1].object == Literal("hi", None, "en")
+
+    def test_unknown_prefix_raises(self):
+        with pytest.raises(SPARQLSyntaxError):
+            parse_sparql("SELECT ?x WHERE { ?x ex:p ?y }")
+
+    def test_missing_where_braces_raises(self):
+        with pytest.raises(SPARQLSyntaxError):
+            parse_sparql("SELECT ?x WHERE ?x <http://p> ?y")
+
+    def test_trailing_tokens_raise(self):
+        with pytest.raises(SPARQLSyntaxError):
+            parse_sparql("SELECT ?x WHERE { ?x <http://p> ?y } garbage")
+
+    def test_empty_projection_raises(self):
+        with pytest.raises(SPARQLSyntaxError):
+            parse_sparql("SELECT WHERE { ?x <http://p> ?y }")
+
+
+class TestParserFeatures:
+    def test_optional_clause(self):
+        query = parse_sparql(
+            "SELECT ?x ?y WHERE { ?x <http://p> ?z . OPTIONAL { ?x <http://q> ?y . } }"
+        )
+        assert len(query.where.optionals) == 1
+        assert len(query.where.optionals[0].triples) == 1
+
+    def test_nested_optionals(self):
+        query = parse_sparql(
+            "SELECT * WHERE { ?x <http://p> ?z . OPTIONAL { ?x <http://q> ?y . OPTIONAL { ?y <http://r> ?w } } }"
+        )
+        assert len(query.where.optionals[0].optionals) == 1
+
+    def test_union(self):
+        query = parse_sparql(
+            "SELECT ?x WHERE { { ?x <http://p> ?y } UNION { ?x <http://q> ?y } }"
+        )
+        assert len(query.where.unions) == 1
+        assert len(query.where.unions[0].alternatives) == 2
+
+    def test_three_way_union(self):
+        query = parse_sparql(
+            "SELECT ?x WHERE { { ?x <http://p> ?y } UNION { ?x <http://q> ?y } UNION { ?x <http://r> ?y } }"
+        )
+        assert len(query.where.unions[0].alternatives) == 3
+
+    def test_plain_nested_group_is_merged(self):
+        query = parse_sparql("SELECT ?x WHERE { { ?x <http://p> ?y . } ?x <http://q> ?z . }")
+        assert len(query.where.triples) == 2
+        assert not query.where.unions
+
+    def test_filter_comparison(self):
+        query = parse_sparql("SELECT ?x WHERE { ?x <http://p> ?y . FILTER (?y > 5) }")
+        condition = query.where.filters[0]
+        assert isinstance(condition, expr.Comparison)
+        assert condition.op == ">"
+
+    def test_filter_boolean_combination(self):
+        query = parse_sparql(
+            "SELECT ?x WHERE { ?x <http://p> ?y . FILTER (?y > 5 && (?y < 10 || !BOUND(?z))) }"
+        )
+        assert isinstance(query.where.filters[0], expr.And)
+
+    def test_filter_regex(self):
+        query = parse_sparql('SELECT ?x WHERE { ?x <http://p> ?y . FILTER REGEX(?y, "abc", "i") }')
+        condition = query.where.filters[0]
+        assert isinstance(condition, expr.Regex)
+        assert condition.flags == "i"
+
+    def test_filter_langmatches(self):
+        query = parse_sparql(
+            'SELECT ?x WHERE { ?x <http://p> ?y . FILTER (LANGMATCHES(LANG(?y), "en")) }'
+        )
+        assert isinstance(query.where.filters[0], expr.LangMatches)
+
+    def test_filter_arithmetic(self):
+        query = parse_sparql(
+            "SELECT ?x WHERE { ?x <http://p> ?y . ?x <http://q> ?z . FILTER (?y < (?z + 3) * 2) }"
+        )
+        assert isinstance(query.where.filters[0], expr.Comparison)
+
+    def test_modifiers(self):
+        query = parse_sparql(
+            "SELECT ?x WHERE { ?x <http://p> ?y } ORDER BY DESC(?y) LIMIT 10 OFFSET 5"
+        )
+        assert query.order_by == [(Variable("y"), False)]
+        assert query.limit == 10
+        assert query.offset == 5
+
+    def test_strip_modifiers(self):
+        query = parse_sparql(
+            "SELECT DISTINCT ?x WHERE { ?x <http://p> ?y } ORDER BY ?y LIMIT 3"
+        )
+        stripped = query.strip_modifiers()
+        assert not stripped.distinct and stripped.limit is None and not stripped.order_by
+        # The original query is untouched.
+        assert query.distinct and query.limit == 3
+
+    def test_variable_predicate(self):
+        query = parse_sparql("SELECT ?p WHERE { <http://s> ?p ?o . }")
+        assert query.where.triples[0].predicate == Variable("p")
+
+    def test_graph_pattern_variables(self):
+        query = parse_sparql(
+            "SELECT * WHERE { ?x <http://p> ?y . OPTIONAL { ?x <http://q> ?z } FILTER (?w > 1) }"
+        )
+        assert query.where.variables() == {"x", "y", "z", "w"}
+        assert query.where.required_variables() == {"x", "y"}

@@ -1,0 +1,126 @@
+"""Sorted-list set algebra: unit and property-based tests."""
+
+from hypothesis import given, strategies as st
+
+from repro.utils.intersect import (
+    contains_sorted,
+    difference_sorted,
+    galloping_intersect,
+    intersect_adaptive,
+    intersect_many,
+    intersect_sorted,
+    is_sorted_unique,
+    union_many,
+    union_sorted,
+)
+
+sorted_ints = st.lists(st.integers(min_value=0, max_value=200), max_size=60).map(
+    lambda values: sorted(set(values))
+)
+
+
+class TestContains:
+    def test_present(self):
+        assert contains_sorted([1, 3, 5, 9], 5)
+
+    def test_absent(self):
+        assert not contains_sorted([1, 3, 5, 9], 4)
+
+    def test_empty(self):
+        assert not contains_sorted([], 1)
+
+    def test_boundaries(self):
+        assert contains_sorted([2, 4, 6], 2)
+        assert contains_sorted([2, 4, 6], 6)
+        assert not contains_sorted([2, 4, 6], 7)
+
+
+class TestIntersect:
+    def test_basic(self):
+        assert intersect_sorted([1, 2, 3, 4], [2, 4, 6]) == [2, 4]
+
+    def test_disjoint(self):
+        assert intersect_sorted([1, 3], [2, 4]) == []
+
+    def test_empty_operand(self):
+        assert intersect_sorted([], [1, 2]) == []
+        assert intersect_sorted([1, 2], []) == []
+
+    def test_galloping_equals_merge(self):
+        small = [5, 100, 150]
+        large = list(range(0, 200, 2))
+        assert galloping_intersect(small, large) == intersect_sorted(small, large)
+
+    def test_adaptive_picks_correct_result_for_skewed_inputs(self):
+        small = [7, 64]
+        large = list(range(1000))
+        assert intersect_adaptive(small, large) == [7, 64]
+
+    def test_many_smallest_first_early_exit(self):
+        assert intersect_many([[1, 2, 3], [], [2, 3]]) == []
+
+    def test_many_three_way(self):
+        assert intersect_many([[1, 2, 3, 4], [2, 3, 4], [0, 2, 4, 8]]) == [2, 4]
+
+    def test_many_single_list(self):
+        assert intersect_many([[1, 5, 9]]) == [1, 5, 9]
+
+    def test_many_no_lists(self):
+        assert intersect_many([]) == []
+
+
+class TestUnionDifference:
+    def test_union_merges_and_dedups(self):
+        assert union_sorted([1, 3, 5], [1, 2, 5, 7]) == [1, 2, 3, 5, 7]
+
+    def test_union_many(self):
+        assert union_many([[1], [2], [1, 3]]) == [1, 2, 3]
+
+    def test_union_many_empty(self):
+        assert union_many([]) == []
+
+    def test_difference(self):
+        assert difference_sorted([1, 2, 3, 4], [2, 4]) == [1, 3]
+
+    def test_difference_empty_right(self):
+        assert difference_sorted([1, 2], []) == [1, 2]
+
+    def test_is_sorted_unique(self):
+        assert is_sorted_unique([1, 2, 9])
+        assert not is_sorted_unique([1, 1, 2])
+        assert not is_sorted_unique([3, 2])
+        assert is_sorted_unique([])
+
+
+class TestProperties:
+    @given(sorted_ints, sorted_ints)
+    def test_intersection_matches_set_semantics(self, a, b):
+        assert intersect_sorted(a, b) == sorted(set(a) & set(b))
+
+    @given(sorted_ints, sorted_ints)
+    def test_adaptive_matches_merge(self, a, b):
+        assert intersect_adaptive(a, b) == intersect_sorted(a, b)
+
+    @given(sorted_ints, sorted_ints)
+    def test_union_matches_set_semantics(self, a, b):
+        assert union_sorted(a, b) == sorted(set(a) | set(b))
+
+    @given(sorted_ints, sorted_ints)
+    def test_difference_matches_set_semantics(self, a, b):
+        assert difference_sorted(a, b) == sorted(set(a) - set(b))
+
+    @given(st.lists(sorted_ints, max_size=5))
+    def test_kway_intersection_matches_set_semantics(self, lists):
+        expected = sorted(set.intersection(*map(set, lists))) if lists else []
+        assert intersect_many(lists) == expected
+
+    @given(st.lists(sorted_ints, max_size=5))
+    def test_kway_union_matches_set_semantics(self, lists):
+        expected = sorted(set().union(*map(set, lists))) if lists else []
+        assert union_many(lists) == expected
+
+    @given(sorted_ints, sorted_ints)
+    def test_results_stay_sorted_unique(self, a, b):
+        assert is_sorted_unique(intersect_sorted(a, b))
+        assert is_sorted_unique(union_sorted(a, b))
+        assert is_sorted_unique(difference_sorted(a, b))

@@ -1,0 +1,61 @@
+"""Timer and statistics helpers."""
+
+import pytest
+
+from repro.utils.stats import geometric_mean, summarize
+from repro.utils.timer import Timer, timed
+
+
+class TestTimer:
+    def test_accumulates_laps(self):
+        timer = Timer()
+        with timer:
+            sum(range(100))
+        with timer:
+            sum(range(100))
+        assert len(timer.laps) == 2
+        assert timer.elapsed_ms >= 0.0
+        assert timer.elapsed_ms == pytest.approx(sum(timer.laps))
+
+    def test_reset(self):
+        timer = Timer()
+        with timer:
+            pass
+        timer.reset()
+        assert timer.elapsed_ms == 0.0
+        assert timer.laps == []
+
+    def test_timed_returns_result_and_average(self):
+        result, elapsed = timed(lambda: 41 + 1, repeats=5)
+        assert result == 42
+        assert elapsed >= 0.0
+
+    def test_timed_single_repeat(self):
+        result, elapsed = timed(lambda: "x", repeats=1)
+        assert result == "x"
+        assert elapsed >= 0.0
+
+
+class TestStats:
+    def test_geometric_mean_basic(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_geometric_mean_ignores_nonpositive(self):
+        assert geometric_mean([0.0, -3.0, 4.0]) == pytest.approx(4.0)
+
+    def test_geometric_mean_empty(self):
+        assert geometric_mean([]) == 0.0
+
+    def test_summarize_odd_length(self):
+        summary = summarize([3.0, 1.0, 2.0])
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+        assert summary["median"] == 2.0
+
+    def test_summarize_even_length(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary["median"] == pytest.approx(2.5)
+        assert summary["mean"] == pytest.approx(2.5)
+
+    def test_summarize_empty(self):
+        assert summarize([]) == {"min": 0.0, "max": 0.0, "mean": 0.0, "median": 0.0}
