@@ -27,7 +27,7 @@ the labeled-graph view leaves open:
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.engine.base import BGPSolver, Engine
 from repro.graph.labeled_graph import LabeledGraph
@@ -41,7 +41,7 @@ from repro.graph.transform import (
     type_aware_transform_query,
 )
 from repro.matching.config import MatchConfig
-from repro.matching.parallel import ParallelMatcher, ParallelStats
+from repro.matching.parallel import ParallelMatcher
 from repro.matching.turbo import Solution, TurboMatcher
 from repro.rdf.namespaces import RDF
 from repro.rdf.store import TripleStore
@@ -128,9 +128,12 @@ class TurboBGPSolver(BGPSolver):
         for component in components:
             subquery, index_map = _extract_component(query, component)
             predicates = self._vertex_predicates(subquery, cheap_filters)
-            solutions = self._match(subquery, predicates)
+            # Solutions are streamed out of the matcher one at a time and
+            # decoded straight into bindings — the raw vertex mappings are
+            # never materialized as a full list.
             bindings = [
-                self._solution_to_binding(subquery, solution) for solution in solutions
+                self._solution_to_binding(subquery, solution)
+                for solution in self._iter_match(subquery, predicates)
             ]
             per_component.append(bindings)
             if not bindings:
@@ -145,13 +148,13 @@ class TurboBGPSolver(BGPSolver):
             return type_aware_transform_query(patterns, self.mapping)
         return direct_transform_query(patterns, self.mapping)
 
-    def _match(self, query: QueryGraph, predicates) -> List[Solution]:
+    def _iter_match(self, query: QueryGraph, predicates) -> Iterator[Solution]:
         if self.workers > 1 and query.vertex_count() > 1:
             matcher = ParallelMatcher(self.graph, self.config, workers=self.workers)
-            solutions, _ = matcher.match(query, vertex_predicates=predicates)
-            return solutions
+            yield from matcher.iter_match(query, vertex_predicates=predicates)
+            return
         matcher = TurboMatcher(self.graph, self.config)
-        return matcher.match(query, vertex_predicates=predicates)
+        yield from matcher.iter_match(query, vertex_predicates=predicates)
 
     def _vertex_predicates(
         self,

@@ -1,16 +1,29 @@
-"""In-memory labeled directed multigraph (the paper's Figure 9 structures).
+"""In-memory labeled directed multigraph on a compact CSR core (Figure 9).
 
-A :class:`LabeledGraph` stores, per vertex, its label set plus incoming and
-outgoing adjacency grouped two ways:
+A :class:`LabeledGraph` stores every posting list of the paper's Figure 9
+structures in *contiguous offset/neighbour arrays* (compressed sparse row
+layout) instead of nested dictionaries of lists:
 
-* by edge label — used when the query vertex label is blank,
-* by *neighbour type*, the pair ``(edge label, vertex label)`` — used when
-  both the predicate and the neighbour's type are known.
+* **per-edge-label adjacency** — for each direction (outgoing / incoming) a
+  :class:`_DirectionCSR` holds one flat neighbour array; the group of
+  neighbours reachable from vertex ``v`` via edge label ``l`` is the window
+  ``nbr[nbr_off[g] : nbr_off[g + 1]]`` where ``g`` is found by a bounded
+  binary search of ``l`` in the vertex's sorted label-key window
+  ``label_keys[label_off[v] : label_off[v + 1]]``,
+* **per-neighbour-type adjacency** — the same three-level layout keyed by
+  the pair ``(edge label, vertex label)``, used when both the predicate and
+  the neighbour's type are known (Section 4.2),
+* **inverse vertex label list** (label → sorted vertices) and the
+  **predicate index** (edge label → sorted subjects / sorted objects) as
+  sorted key arrays with parallel offset/posting arrays.
 
-It also maintains the *inverse vertex label list* (label → sorted vertices)
-and the *predicate index* (edge label → sorted subjects / sorted objects)
-described in Sections 4.2.  All posting lists are sorted integer lists so
-that the ``+INT`` bulk-intersection optimization applies directly.
+Every posting group is a sorted, duplicate-free integer run inside one flat
+array, so the ``+INT`` bulk-intersection optimization operates on zero-copy
+``(array, lo, hi)`` windows (see :mod:`repro.utils.intersect`) instead of
+materialized list slices.  The flat arrays are plain Python lists — in
+CPython a list *is* a contiguous pointer array, indexes faster than
+``array('q')`` (which re-boxes every element on access), and list slices
+keep the public accessors list-typed.
 
 Graphs are built through :class:`GraphBuilder` (mutable accumulation) and
 then frozen into the read-only :class:`LabeledGraph`.
@@ -18,14 +31,32 @@ then frozen into the read-only :class:`LabeledGraph`.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from collections import defaultdict
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.exceptions import GraphError
-from repro.utils.intersect import contains_sorted, intersect_many, union_many
+from repro.utils.intersect import (
+    Window,
+    as_window,
+    intersect_windows,
+    union_windows,
+)
 
 EMPTY_LABELS: FrozenSet[int] = frozenset()
 _EMPTY_LIST: List[int] = []
+#: The canonical empty posting window.
+_EMPTY_WINDOW: Window = (_EMPTY_LIST, 0, 0)
 
 
 class GraphBuilder:
@@ -56,8 +87,146 @@ class GraphBuilder:
         return LabeledGraph(vertex_count, labels, self._edges)
 
 
+class _DirectionCSR:
+    """One direction of the adjacency, compressed into flat offset arrays.
+
+    Two parallel three-level CSR structures share the class: one keyed by the
+    edge label alone and one keyed by the neighbour type ``(edge label,
+    vertex label)``.  Level one is the per-vertex window into the sorted key
+    array, level two the per-key window into the flat neighbour array.
+    """
+
+    __slots__ = (
+        "label_off",
+        "label_keys",
+        "nbr_off",
+        "nbr",
+        "type_off",
+        "type_keys",
+        "type_nbr_off",
+        "type_nbr",
+    )
+
+    def __init__(
+        self,
+        vertex_count: int,
+        triples: List[Tuple[int, int, int]],
+        vertex_labels: Sequence[FrozenSet[int]],
+    ) -> None:
+        # ``triples`` are (vertex, edge label, neighbour), sorted and unique.
+        self.label_off, self.label_keys, self.nbr_off, self.nbr = _build_csr_levels(
+            vertex_count, triples
+        )
+
+        # Neighbour-type CSR: expand each neighbour into one entry per label.
+        typed: List[Tuple[int, Tuple[int, int], int]] = []
+        for vertex, edge_label, neighbor in triples:
+            for vertex_label in vertex_labels[neighbor]:
+                typed.append((vertex, (edge_label, vertex_label), neighbor))
+        typed.sort()
+        self.type_off, self.type_keys, self.type_nbr_off, self.type_nbr = _build_csr_levels(
+            vertex_count, typed
+        )
+
+    # ------------------------------------------------------------- look-ups
+    def window(self, vertex: int, edge_label: int) -> Window:
+        """Zero-copy neighbour window for ``(vertex, edge label)``."""
+        lo = self.label_off[vertex]
+        hi = self.label_off[vertex + 1]
+        i = bisect_left(self.label_keys, edge_label, lo, hi)
+        if i < hi and self.label_keys[i] == edge_label:
+            return (self.nbr, self.nbr_off[i], self.nbr_off[i + 1])
+        return _EMPTY_WINDOW
+
+    def any_label_windows(self, vertex: int) -> List[Window]:
+        """One window per edge-label group of ``vertex``."""
+        lo = self.label_off[vertex]
+        hi = self.label_off[vertex + 1]
+        return [(self.nbr, self.nbr_off[g], self.nbr_off[g + 1]) for g in range(lo, hi)]
+
+    def type_window(self, vertex: int, edge_label: int, vertex_label: int) -> Window:
+        """Zero-copy neighbour window for one neighbour type."""
+        lo = self.type_off[vertex]
+        hi = self.type_off[vertex + 1]
+        key = (edge_label, vertex_label)
+        i = bisect_left(self.type_keys, key, lo, hi)
+        if i < hi and self.type_keys[i] == key:
+            return (self.type_nbr, self.type_nbr_off[i], self.type_nbr_off[i + 1])
+        return _EMPTY_WINDOW
+
+    def type_windows_for_label(self, vertex: int, vertex_label: int) -> List[Window]:
+        """Windows of every ``(*, vertex_label)`` type group of ``vertex``."""
+        lo = self.type_off[vertex]
+        hi = self.type_off[vertex + 1]
+        return [
+            (self.type_nbr, self.type_nbr_off[g], self.type_nbr_off[g + 1])
+            for g in range(lo, hi)
+            if self.type_keys[g][1] == vertex_label
+        ]
+
+    def degree(self, vertex: int) -> int:
+        """Number of adjacency entries (distinct (label, neighbour) pairs)."""
+        lo = self.label_off[vertex]
+        hi = self.label_off[vertex + 1]
+        return self.nbr_off[hi] - self.nbr_off[lo]
+
+
+def _build_csr_levels(vertex_count, rows):
+    """Build one three-level CSR from sorted ``(vertex, key, neighbour)`` rows.
+
+    Returns ``(off, keys, nbr_off, nbr)`` in a single pass: ``off`` windows
+    each vertex's run of ``keys``, ``nbr_off`` windows each key group's run
+    of ``nbr`` (with the end sentinel at ``nbr_off[len(keys)]``).
+    """
+    off = [0] * (vertex_count + 1)
+    keys: List = []
+    nbr_off: List[int] = []
+    nbr: List[int] = []
+    previous = None
+    for vertex, key, neighbor in rows:
+        group = (vertex, key)
+        if group != previous:
+            keys.append(key)
+            nbr_off.append(len(nbr))
+            off[vertex + 1] += 1
+            previous = group
+        nbr.append(neighbor)
+    nbr_off.append(len(nbr))
+    for vertex in range(vertex_count):
+        off[vertex + 1] += off[vertex]
+    return off, keys, nbr_off, nbr
+
+
+class _PostingIndex:
+    """Sorted-key index over one flat posting array (labels / predicates)."""
+
+    __slots__ = ("keys", "off", "postings")
+
+    def __init__(self, groups: Dict[int, List[int]]) -> None:
+        self.keys: List[int] = sorted(groups)
+        self.off: List[int] = [0]
+        self.postings: List[int] = []
+        for key in self.keys:
+            self.postings.extend(sorted(groups[key]))
+            self.off.append(len(self.postings))
+
+    def window(self, key: int) -> Window:
+        i = bisect_left(self.keys, key)
+        if i < len(self.keys) and self.keys[i] == key:
+            return (self.postings, self.off[i], self.off[i + 1])
+        return _EMPTY_WINDOW
+
+    def get(self, key: int) -> List[int]:
+        base, lo, hi = self.window(key)
+        return base[lo:hi]
+
+    def count(self, key: int) -> int:
+        _, lo, hi = self.window(key)
+        return hi - lo
+
+
 class LabeledGraph:
-    """Read-only labeled directed multigraph with sorted adjacency lists."""
+    """Read-only labeled directed multigraph on CSR posting arrays."""
 
     def __init__(
         self,
@@ -70,64 +239,38 @@ class LabeledGraph:
         self.vertex_count = vertex_count
         self.labels: List[FrozenSet[int]] = list(labels)
 
-        out_by_label: List[Dict[int, List[int]]] = [defaultdict(list) for _ in range(vertex_count)]
-        in_by_label: List[Dict[int, List[int]]] = [defaultdict(list) for _ in range(vertex_count)]
-        edge_count = 0
-        for source, edge_label, target in edges:
-            out_by_label[source][edge_label].append(target)
-            in_by_label[target][edge_label].append(source)
-            edge_count += 1
-        self.edge_count = edge_count
+        unique_edges = sorted(set(edges))
+        self.edge_count = len(unique_edges)
 
-        # Freeze adjacency: sorted unique neighbour lists per edge label.
-        self._out: List[Dict[int, List[int]]] = []
-        self._in: List[Dict[int, List[int]]] = []
-        for v in range(vertex_count):
-            self._out.append({el: sorted(set(ns)) for el, ns in out_by_label[v].items()})
-            self._in.append({el: sorted(set(ns)) for el, ns in in_by_label[v].items()})
-
-        # Neighbour-type grouped adjacency: (edge label, vertex label) -> neighbours.
-        self._out_by_type: List[Dict[Tuple[int, int], List[int]]] = []
-        self._in_by_type: List[Dict[Tuple[int, int], List[int]]] = []
-        for v in range(vertex_count):
-            out_groups: Dict[Tuple[int, int], List[int]] = defaultdict(list)
-            for el, neighbours in self._out[v].items():
-                for n in neighbours:
-                    for vl in self.labels[n]:
-                        out_groups[(el, vl)].append(n)
-            self._out_by_type.append({k: sorted(set(ns)) for k, ns in out_groups.items()})
-            in_groups: Dict[Tuple[int, int], List[int]] = defaultdict(list)
-            for el, neighbours in self._in[v].items():
-                for n in neighbours:
-                    for vl in self.labels[n]:
-                        in_groups[(el, vl)].append(n)
-            self._in_by_type.append({k: sorted(set(ns)) for k, ns in in_groups.items()})
+        # Outgoing CSR: (source, label, target); incoming CSR: (target, label, source).
+        self._out = _DirectionCSR(vertex_count, unique_edges, self.labels)
+        incoming = sorted((t, l, s) for (s, l, t) in unique_edges)
+        self._in = _DirectionCSR(vertex_count, incoming, self.labels)
 
         # Inverse vertex label list: label -> sorted vertices carrying it.
         inverse: Dict[int, List[int]] = defaultdict(list)
         for v in range(vertex_count):
             for label in self.labels[v]:
                 inverse[label].append(v)
-        self._inverse_label: Dict[int, List[int]] = {l: sorted(vs) for l, vs in inverse.items()}
+        self._inverse_label = _PostingIndex(inverse)
 
         # Predicate index: edge label -> (sorted subjects, sorted objects).
         pred_subjects: Dict[int, Set[int]] = defaultdict(set)
         pred_objects: Dict[int, Set[int]] = defaultdict(set)
-        for v in range(vertex_count):
-            for el, neighbours in self._out[v].items():
-                if neighbours:
-                    pred_subjects[el].add(v)
-                    pred_objects[el].update(neighbours)
-        self._predicate_index: Dict[int, Tuple[List[int], List[int]]] = {
-            el: (sorted(pred_subjects[el]), sorted(pred_objects[el]))
-            for el in pred_subjects
-        }
+        for source, edge_label, target in unique_edges:
+            pred_subjects[edge_label].add(source)
+            pred_objects[edge_label].add(target)
+        self._pred_subjects = _PostingIndex(
+            {k: list(vs) for k, vs in pred_subjects.items()}
+        )
+        self._pred_objects = _PostingIndex(
+            {k: list(vs) for k, vs in pred_objects.items()}
+        )
 
-        # Total degree per vertex (counting multi-labelled edges once per label).
+        # Total degree per vertex: distinct (label, neighbour) entries, both
+        # directions (a self-loop counts once per direction).
         self._degree: List[int] = [
-            sum(len(ns) for ns in self._out[v].values())
-            + sum(len(ns) for ns in self._in[v].values())
-            for v in range(vertex_count)
+            self._out.degree(v) + self._in.degree(v) for v in range(vertex_count)
         ]
 
     # ------------------------------------------------------------------ views
@@ -145,31 +288,47 @@ class LabeledGraph:
 
     def edge_labels(self) -> Set[int]:
         """All edge labels present in the graph."""
-        return set(self._predicate_index)
+        return set(self._pred_subjects.keys)
 
     def all_labels(self) -> Set[int]:
         """All vertex labels present in the graph."""
-        return set(self._inverse_label)
+        return set(self._inverse_label.keys)
 
     def iter_edges(self) -> Iterator[Tuple[int, int, int]]:
         """Iterate over ``(source, edge label, target)`` edges."""
+        csr = self._out
         for v in range(self.vertex_count):
-            for el, neighbours in self._out[v].items():
-                for n in neighbours:
-                    yield (v, el, n)
+            for g in range(csr.label_off[v], csr.label_off[v + 1]):
+                edge_label = csr.label_keys[g]
+                for i in range(csr.nbr_off[g], csr.nbr_off[g + 1]):
+                    yield (v, edge_label, csr.nbr[i])
 
     # -------------------------------------------------------------- adjacency
     def out_neighbors(self, vertex: int, edge_label: Optional[int] = None) -> List[int]:
         """Outgoing neighbours, optionally restricted to one edge label."""
-        if edge_label is None:
-            return union_many(self._out[vertex].values())
-        return self._out[vertex].get(edge_label, _EMPTY_LIST)
+        base, lo, hi = self.out_window(vertex, edge_label)
+        return base[lo:hi]
 
     def in_neighbors(self, vertex: int, edge_label: Optional[int] = None) -> List[int]:
         """Incoming neighbours, optionally restricted to one edge label."""
-        if edge_label is None:
-            return union_many(self._in[vertex].values())
-        return self._in[vertex].get(edge_label, _EMPTY_LIST)
+        base, lo, hi = self.in_window(vertex, edge_label)
+        return base[lo:hi]
+
+    def out_window(self, vertex: int, edge_label: Optional[int] = None) -> Window:
+        """Outgoing neighbours as a zero-copy ``(base, lo, hi)`` window.
+
+        With a blank edge label the per-label groups are merged, which
+        materializes a fresh list wrapped as a window.
+        """
+        if edge_label is not None:
+            return self._out.window(vertex, edge_label)
+        return as_window(union_windows(self._out.any_label_windows(vertex)))
+
+    def in_window(self, vertex: int, edge_label: Optional[int] = None) -> Window:
+        """Incoming counterpart of :meth:`out_window`."""
+        if edge_label is not None:
+            return self._in.window(vertex, edge_label)
+        return as_window(union_windows(self._in.any_label_windows(vertex)))
 
     def neighbors_by_type(
         self,
@@ -178,85 +337,165 @@ class LabeledGraph:
         vertex_labels: FrozenSet[int],
         outgoing: bool = True,
     ) -> List[int]:
-        """Adjacent vertices matching a neighbour type.
+        """Adjacent vertices matching a neighbour type (as a list)."""
+        base, lo, hi = self.neighbors_by_type_window(
+            vertex, edge_label, vertex_labels, outgoing
+        )
+        return base[lo:hi]
+
+    def neighbors_by_type_window(
+        self,
+        vertex: int,
+        edge_label: Optional[int],
+        vertex_labels: FrozenSet[int],
+        outgoing: bool = True,
+    ) -> Window:
+        """Adjacent vertices matching a neighbour type, as a posting window.
 
         Implements the adjacency look-up rules of Section 4.2:
 
-        * one vertex label + one edge label — direct group look-up,
+        * one vertex label + one edge label — direct CSR group look-up
+          (zero-copy),
         * several vertex labels — intersect the per-label groups,
-        * blank vertex label — fall back to the per-edge-label list,
+        * blank vertex label — fall back to the per-edge-label group,
         * blank edge label — union over all edge labels (restricted to the
           requested vertex labels when given).
         """
-        by_type = self._out_by_type[vertex] if outgoing else self._in_by_type[vertex]
-        by_label = self._out[vertex] if outgoing else self._in[vertex]
+        csr = self._out if outgoing else self._in
         if edge_label is not None:
             if not vertex_labels:
-                return by_label.get(edge_label, _EMPTY_LIST)
-            groups = [by_type.get((edge_label, vl), _EMPTY_LIST) for vl in vertex_labels]
-            if len(groups) == 1:
-                return groups[0]
-            return intersect_many(groups)
+                return csr.window(vertex, edge_label)
+            if len(vertex_labels) == 1:
+                (vertex_label,) = vertex_labels
+                return csr.type_window(vertex, edge_label, vertex_label)
+            windows = [
+                csr.type_window(vertex, edge_label, vertex_label)
+                for vertex_label in vertex_labels
+            ]
+            return as_window(intersect_windows(windows))
         # Blank edge label: union over every edge label.
         if not vertex_labels:
-            return union_many(by_label.values())
-        per_label: List[List[int]] = []
-        for vl in vertex_labels:
-            matches = [ns for (el, label), ns in by_type.items() if label == vl]
-            per_label.append(union_many(matches))
+            return as_window(union_windows(csr.any_label_windows(vertex)))
+        per_label = [
+            union_windows(csr.type_windows_for_label(vertex, vertex_label))
+            for vertex_label in vertex_labels
+        ]
         if len(per_label) == 1:
-            return per_label[0]
-        return intersect_many(per_label)
+            return as_window(per_label[0])
+        return as_window(intersect_windows([as_window(lst) for lst in per_label]))
+
+    def count_neighbors_by_type(
+        self,
+        vertex: int,
+        edge_label: Optional[int],
+        vertex_labels: FrozenSet[int],
+        outgoing: bool = True,
+    ) -> int:
+        """Number of adjacent vertices matching a neighbour type.
+
+        The common NLF-filter case (one concrete edge label, at most one
+        vertex label) is answered from the CSR offsets alone, without
+        touching the posting arrays.
+        """
+        _, lo, hi = self.neighbors_by_type_window(
+            vertex, edge_label, vertex_labels, outgoing
+        )
+        return hi - lo
 
     def has_edge(self, source: int, target: int, edge_label: Optional[int] = None) -> bool:
         """Edge existence test (any label when ``edge_label`` is None)."""
+        csr = self._out
         if edge_label is not None:
-            return contains_sorted(self._out[source].get(edge_label, _EMPTY_LIST), target)
-        return any(contains_sorted(ns, target) for ns in self._out[source].values())
+            # Inlined CSR group look-up — this probe is the inner loop of the
+            # original (non-+INT) IsJoinable strategy.
+            label_off = csr.label_off
+            label_keys = csr.label_keys
+            lo = label_off[source]
+            hi = label_off[source + 1]
+            g = bisect_left(label_keys, edge_label, lo, hi)
+            if g >= hi or label_keys[g] != edge_label:
+                return False
+            nbr = csr.nbr
+            nbr_lo = csr.nbr_off[g]
+            nbr_hi = csr.nbr_off[g + 1]
+            i = bisect_left(nbr, target, nbr_lo, nbr_hi)
+            return i < nbr_hi and nbr[i] == target
+        for base, lo, hi in csr.any_label_windows(source):
+            i = bisect_left(base, target, lo, hi)
+            if i < hi and base[i] == target:
+                return True
+        return False
 
     def edge_labels_between(self, source: int, target: int) -> List[int]:
         """All edge labels connecting source to target (for predicate variables)."""
-        return sorted(
-            el for el, ns in self._out[source].items() if contains_sorted(ns, target)
-        )
+        csr = self._out
+        result: List[int] = []
+        for g in range(csr.label_off[source], csr.label_off[source + 1]):
+            lo, hi = csr.nbr_off[g], csr.nbr_off[g + 1]
+            i = bisect_left(csr.nbr, target, lo, hi)
+            if i < hi and csr.nbr[i] == target:
+                result.append(csr.label_keys[g])
+        return result
 
     def neighbor_type_counts(self, vertex: int, outgoing: bool = True) -> Dict[Tuple[int, int], int]:
         """Number of neighbours per (edge label, vertex label) group (NLF filter input)."""
-        by_type = self._out_by_type[vertex] if outgoing else self._in_by_type[vertex]
-        return {key: len(ns) for key, ns in by_type.items()}
+        csr = self._out if outgoing else self._in
+        counts: Dict[Tuple[int, int], int] = {}
+        for g in range(csr.type_off[vertex], csr.type_off[vertex + 1]):
+            counts[csr.type_keys[g]] = csr.type_nbr_off[g + 1] - csr.type_nbr_off[g]
+        return counts
 
     # ----------------------------------------------------------------- labels
     def vertices_with_label(self, label: int) -> List[int]:
         """Sorted vertices carrying a label (inverse vertex label list)."""
-        return self._inverse_label.get(label, _EMPTY_LIST)
+        return self._inverse_label.get(label)
+
+    def vertices_with_label_window(self, label: int) -> Window:
+        """Zero-copy window into the inverse vertex label list."""
+        return self._inverse_label.window(label)
 
     def vertices_with_labels(self, labels: FrozenSet[int]) -> List[int]:
         """Sorted vertices carrying *all* the given labels."""
         if not labels:
             return list(range(self.vertex_count))
-        lists = [self.vertices_with_label(label) for label in labels]
-        if len(lists) == 1:
-            return lists[0]
-        return intersect_many(lists)
+        windows = [self._inverse_label.window(label) for label in labels]
+        if len(windows) == 1:
+            base, lo, hi = windows[0]
+            return base[lo:hi]
+        return intersect_windows(windows)
 
     def label_frequency(self, labels: FrozenSet[int]) -> int:
         """``freq(g, L(u))`` — number of vertices carrying all the labels."""
         if not labels:
             return self.vertex_count
         if len(labels) == 1:
-            return len(self.vertices_with_label(next(iter(labels))))
+            return self._inverse_label.count(next(iter(labels)))
         return len(self.vertices_with_labels(labels))
 
     # -------------------------------------------------------- predicate index
     def predicate_subjects(self, edge_label: int) -> List[int]:
         """Sorted vertices with at least one outgoing edge of this label."""
-        entry = self._predicate_index.get(edge_label)
-        return entry[0] if entry else _EMPTY_LIST
+        return self._pred_subjects.get(edge_label)
 
     def predicate_objects(self, edge_label: int) -> List[int]:
         """Sorted vertices with at least one incoming edge of this label."""
-        entry = self._predicate_index.get(edge_label)
-        return entry[1] if entry else _EMPTY_LIST
+        return self._pred_objects.get(edge_label)
+
+    def predicate_subject_count(self, edge_label: int) -> int:
+        """Number of subjects of a predicate, from the offsets alone."""
+        return self._pred_subjects.count(edge_label)
+
+    def predicate_object_count(self, edge_label: int) -> int:
+        """Number of objects of a predicate, from the offsets alone."""
+        return self._pred_objects.count(edge_label)
+
+    def predicate_subjects_window(self, edge_label: int) -> Window:
+        """Zero-copy window over the subjects of a predicate."""
+        return self._pred_subjects.window(edge_label)
+
+    def predicate_objects_window(self, edge_label: int) -> Window:
+        """Zero-copy window over the objects of a predicate."""
+        return self._pred_objects.window(edge_label)
 
     # ------------------------------------------------------------------ stats
     def stats(self) -> Dict[str, int]:
@@ -264,8 +503,8 @@ class LabeledGraph:
         return {
             "vertices": self.vertex_count,
             "edges": self.edge_count,
-            "vertex_labels": len(self._inverse_label),
-            "edge_labels": len(self._predicate_index),
+            "vertex_labels": len(self._inverse_label.keys),
+            "edge_labels": len(self._pred_subjects.keys),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - repr cosmetics

@@ -10,6 +10,11 @@ Exploration prunes eagerly: a candidate survives only if every child query
 vertex below it also has at least one candidate, so the region sizes reported
 to ``DetermineMatchingOrder`` are close to the true selectivities — this is
 the property that makes TurboISO's matching orders accurate.
+
+Adjacency is consumed as zero-copy CSR windows
+(:meth:`LabeledGraph.neighbors_by_type_window`), and the degree / NLF filter
+requirements are precomputed once per query (:func:`query_requirements`)
+instead of once per candidate region or per candidate.
 """
 
 from __future__ import annotations
@@ -19,8 +24,9 @@ from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
 from repro.graph.labeled_graph import LabeledGraph
 from repro.graph.query_graph import QueryGraph, QueryVertex
 from repro.matching.config import MatchConfig
-from repro.matching.filters import passes_filters
+from repro.matching.filters import VertexRequirements, passes_filters, vertex_requirements
 from repro.matching.query_tree import QueryTree, TreeEdge
+from repro.utils.intersect import Window
 
 #: Optional per-query-vertex data-vertex predicate (inexpensive FILTER push-down).
 VertexPredicate = Callable[[int], bool]
@@ -73,25 +79,38 @@ def _edge_label_for_matching(edge_label: Optional[int]) -> Optional[int]:
     return edge_label
 
 
-def _child_candidates(
+def _child_candidate_window(
     graph: LabeledGraph,
     query: QueryGraph,
     tree_edge: TreeEdge,
     parent_data_vertex: int,
-) -> List[int]:
-    """Adjacent data vertices that satisfy the child's labels and ID attribute."""
+) -> Window:
+    """Adjacent data vertices satisfying the child's labels, as a window."""
     child_vertex: QueryVertex = query.vertices[tree_edge.child]
     labels: FrozenSet[int] = child_vertex.labels
-    candidates = graph.neighbors_by_type(
+    return graph.neighbors_by_type_window(
         parent_data_vertex,
         _edge_label_for_matching(tree_edge.edge.label),
         labels,
         outgoing=tree_edge.outgoing_from_parent,
     )
-    if child_vertex.vertex_id is not None:
-        target = child_vertex.vertex_id
-        candidates = [v for v in candidates if v == target]
-    return candidates
+
+
+def query_requirements(
+    query: QueryGraph, config: MatchConfig
+) -> Dict[int, VertexRequirements]:
+    """Precompute the filter requirements of every query vertex.
+
+    Computed once per query (empty when both filters are off) and passed to
+    :func:`explore_candidate_region` for every start data vertex, so the
+    requirement derivation never runs inside the per-region hot path.
+    """
+    if not (config.use_degree_filter or config.use_nlf_filter):
+        return {}
+    return {
+        vertex: vertex_requirements(query, vertex, config.homomorphism)
+        for vertex in range(query.vertex_count())
+    }
 
 
 def explore_candidate_region(
@@ -101,6 +120,7 @@ def explore_candidate_region(
     config: MatchConfig,
     start_data_vertex: int,
     vertex_predicates: Optional[Dict[int, VertexPredicate]] = None,
+    requirements: Optional[Dict[int, VertexRequirements]] = None,
 ) -> Optional[CandidateRegion]:
     """Explore the candidate region rooted at ``start_data_vertex``.
 
@@ -111,6 +131,9 @@ def explore_candidate_region(
     predicates = vertex_predicates or {}
     region = CandidateRegion(tree.root, start_data_vertex)
     homomorphism = config.homomorphism
+    use_filters = config.use_degree_filter or config.use_nlf_filter
+    if requirements is None:
+        requirements = query_requirements(query, config)
     # Memoize (query vertex, parent data vertex) explorations — a data vertex
     # reachable through several branches is expanded only once.  Injectivity
     # is not enforced during exploration (it would make candidate lists
@@ -129,13 +152,19 @@ def explore_candidate_region(
                 region.set(child, data_vertex, cached)
                 continue
             tree_edge = tree.tree_edges[child]
-            raw_candidates = _child_candidates(graph, query, tree_edge, data_vertex)
+            base, lo, hi = _child_candidate_window(graph, query, tree_edge, data_vertex)
+            child_vertex = query.vertices[child]
+            pinned = child_vertex.vertex_id
             child_predicate = predicates.get(child)
+            child_requirements = requirements.get(child)
             valid: List[int] = []
-            for candidate in raw_candidates:
+            for index in range(lo, hi):
+                candidate = base[index]
+                if pinned is not None and candidate != pinned:
+                    continue
                 if child_predicate is not None and not child_predicate(candidate):
                     continue
-                if (config.use_degree_filter or config.use_nlf_filter) and not passes_filters(
+                if use_filters and not passes_filters(
                     graph,
                     query,
                     child,
@@ -143,6 +172,7 @@ def explore_candidate_region(
                     homomorphism,
                     config.use_degree_filter,
                     config.use_nlf_filter,
+                    child_requirements,
                 ):
                     continue
                 if explore(child, candidate):

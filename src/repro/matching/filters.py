@@ -3,26 +3,57 @@
 Both filters exist in two flavours (Section 2.2, "Modifying TurboISO for
 e-Graph Homomorphism"):
 
-* **isomorphism** — a data vertex must have at least as many neighbours as
-  the query vertex (degree filter), and, for every distinct neighbour type of
-  the query vertex, at least as many neighbours of that type (NLF filter),
-  because distinct query vertices must map to distinct data vertices.
+* **isomorphism** — distinct query vertices must map to distinct data
+  vertices, so a data vertex needs one distinct data edge per distinct
+  ``(direction, edge label, query neighbour)`` constraint (degree filter)
+  and, for every distinct neighbour type of the query vertex, at least as
+  many neighbours of that type as the query vertex has (NLF filter).
 * **homomorphism** — several query vertices may share a data vertex, so the
-  requirements weaken to "at least as many neighbours as *distinct neighbour
-  types*" (degree) and "at least one neighbour per distinct neighbour type"
-  (NLF).
+  requirements weaken to "one data edge per distinct concrete edge label and
+  direction" (degree) and "at least one neighbour per distinct neighbour
+  type" (NLF).
+
+Both requirements count *data edges the mapping forces to exist*, not query
+edges.  The distinction matters on multigraph queries: two identical query
+edges ``(u, l, w)`` are satisfied by the single data edge
+``(M(u), l, M(w))``, and a predicate-variable edge can share the data edge
+of any concrete-label edge between the same endpoints (the edge mapping
+``Me`` of Definition 2 is not injective).  Requiring one data edge per query
+edge over-prunes and loses solutions — that was the cause of the
+isomorphism-mode solution loss pinned by
+``tests/test_matching_regressions.py``.
+
+Because the requirements depend only on the query, they are precomputed once
+per query vertex (:func:`vertex_requirements`) and reused for every data
+vertex tested, instead of being re-derived per candidate.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, FrozenSet, Tuple
+from typing import Dict, FrozenSet, Optional, Set, Tuple
 
 from repro.graph.labeled_graph import LabeledGraph
 from repro.graph.query_graph import QueryGraph
 
 #: A neighbour type: (outgoing?, edge label, neighbour vertex label).
 NeighborType = Tuple[bool, object, object]
+
+
+class VertexRequirements:
+    """Precomputed filter requirements of one query vertex.
+
+    ``required_degree`` is the minimum total (in + out) data degree and
+    ``neighbor_types`` the per-type minimum neighbour counts; both already
+    reflect the semantics flavour (isomorphism vs homomorphism) they were
+    computed for.
+    """
+
+    __slots__ = ("required_degree", "neighbor_types")
+
+    def __init__(self, required_degree: int, neighbor_types: Dict[NeighborType, int]):
+        self.required_degree = required_degree
+        self.neighbor_types = neighbor_types
 
 
 def query_neighbor_types(query: QueryGraph, vertex: int) -> Counter:
@@ -49,6 +80,59 @@ def query_neighbor_types(query: QueryGraph, vertex: int) -> Counter:
     return types
 
 
+def required_degree(query: QueryGraph, vertex: int, homomorphism: bool) -> int:
+    """Minimum data-vertex degree implied by the query vertex's edges.
+
+    Counts the distinct data edges any solution must route through the
+    matched data vertex.  Per direction:
+
+    * isomorphism — distinct query neighbours map to distinct data vertices,
+      so each ``(neighbour, concrete edge label)`` pair forces its own data
+      edge; predicate-variable edges to a neighbour force one edge only when
+      no concrete-label edge to the same neighbour already does.
+    * homomorphism — neighbours may collapse onto one data vertex, so only
+      distinct concrete edge labels force distinct data edges (plus one edge
+      when every incident edge has a variable predicate).
+
+    Self-loops count once per direction, mirroring how
+    :meth:`LabeledGraph.degree` counts a data self-loop in both the outgoing
+    and incoming adjacency.
+    """
+    total = 0
+    for outgoing in (True, False):
+        edges = query.out_edges(vertex) if outgoing else query.in_edges(vertex)
+        if homomorphism:
+            concrete: Set[int] = set()
+            any_edge = False
+            for edge in edges:
+                any_edge = True
+                if edge.label is not None:
+                    concrete.add(edge.label)
+            total += max(len(concrete), 1 if any_edge else 0)
+        else:
+            per_neighbor: Dict[int, Set[int]] = {}
+            for edge in edges:
+                neighbor = edge.target if outgoing else edge.source
+                labels = per_neighbor.setdefault(neighbor, set())
+                if edge.label is not None:
+                    labels.add(edge.label)
+            for labels in per_neighbor.values():
+                total += max(len(labels), 1)
+    return total
+
+
+def vertex_requirements(
+    query: QueryGraph, vertex: int, homomorphism: bool
+) -> VertexRequirements:
+    """Precompute the degree / NLF requirements of one query vertex."""
+    types = query_neighbor_types(query, vertex)
+    if homomorphism:
+        neighbor_types = {neighbor_type: 1 for neighbor_type in types}
+    else:
+        neighbor_types = dict(types)
+    return VertexRequirements(required_degree(query, vertex, homomorphism), neighbor_types)
+
+
 def _data_neighbor_count(
     graph: LabeledGraph,
     data_vertex: int,
@@ -59,13 +143,12 @@ def _data_neighbor_count(
     vertex_labels: FrozenSet[int] = (
         frozenset((vertex_label,)) if vertex_label is not None else frozenset()
     )
-    neighbours = graph.neighbors_by_type(
+    return graph.count_neighbors_by_type(
         data_vertex,
         edge_label if edge_label is not None else None,
         vertex_labels,
         outgoing=outgoing,
     )
-    return len(neighbours)
 
 
 def degree_filter(
@@ -74,19 +157,12 @@ def degree_filter(
     query_vertex: int,
     data_vertex: int,
     homomorphism: bool,
+    requirements: Optional[VertexRequirements] = None,
 ) -> bool:
-    """Degree filter test.
-
-    Isomorphism: ``deg(v) >= deg(u)``.  Homomorphism: the data vertex must
-    have at least as many neighbours as the query vertex has *distinct
-    neighbour types*.
-    """
-    data_degree = graph.degree(data_vertex)
-    if homomorphism:
-        required = len(query_neighbor_types(query, query_vertex))
-    else:
-        required = query.degree(query_vertex)
-    return data_degree >= required
+    """Degree filter test: ``deg(v) >= required_degree(u)``."""
+    if requirements is None:
+        requirements = vertex_requirements(query, query_vertex, homomorphism)
+    return graph.degree(data_vertex) >= requirements.required_degree
 
 
 def nlf_filter(
@@ -95,15 +171,17 @@ def nlf_filter(
     query_vertex: int,
     data_vertex: int,
     homomorphism: bool,
+    requirements: Optional[VertexRequirements] = None,
 ) -> bool:
     """Neighbourhood label frequency filter test.
 
     Isomorphism: for every neighbour type the data vertex needs at least as
-    many neighbours as the query vertex.  Homomorphism: at least one.
+    many neighbours as the query vertex has distinct neighbours of that type.
+    Homomorphism: at least one.
     """
-    required = query_neighbor_types(query, query_vertex)
-    for neighbor_type, count in required.items():
-        needed = 1 if homomorphism else count
+    if requirements is None:
+        requirements = vertex_requirements(query, query_vertex, homomorphism)
+    for neighbor_type, needed in requirements.neighbor_types.items():
         if _data_neighbor_count(graph, data_vertex, neighbor_type) < needed:
             return False
     return True
@@ -117,10 +195,15 @@ def passes_filters(
     homomorphism: bool,
     use_degree: bool,
     use_nlf: bool,
+    requirements: Optional[VertexRequirements] = None,
 ) -> bool:
     """Combined filter test honouring the -DEG / -NLF optimization switches."""
-    if use_degree and not degree_filter(graph, query, query_vertex, data_vertex, homomorphism):
+    if use_degree and not degree_filter(
+        graph, query, query_vertex, data_vertex, homomorphism, requirements
+    ):
         return False
-    if use_nlf and not nlf_filter(graph, query, query_vertex, data_vertex, homomorphism):
+    if use_nlf and not nlf_filter(
+        graph, query, query_vertex, data_vertex, homomorphism, requirements
+    ):
         return False
     return True

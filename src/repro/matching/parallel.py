@@ -13,6 +13,11 @@ not representative of the paper's NUMA hardware; the
 explored plus search recursions), which is the load-balance quantity
 Figure 16 actually demonstrates.  Both metrics are reported by the Figure 16
 benchmark.
+
+The primitive API is :meth:`ParallelMatcher.iter_match`: workers push their
+per-chunk solution batches onto a queue and the generator drains it, so the
+consumer streams solutions while workers are still searching, without a
+full result list ever being materialized by the matcher itself.
 """
 
 from __future__ import annotations
@@ -21,16 +26,20 @@ import queue
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.graph.labeled_graph import LabeledGraph
 from repro.graph.query_graph import QueryGraph
-from repro.matching.candidate_region import VertexPredicate, explore_candidate_region
+from repro.matching.candidate_region import (
+    VertexPredicate,
+    explore_candidate_region,
+    query_requirements,
+)
 from repro.matching.config import MatchConfig
 from repro.matching.matching_order import determine_matching_order
 from repro.matching.query_tree import write_query_tree
 from repro.matching.start_vertex import choose_start_vertex
-from repro.matching.subgraph_search import SearchStatistics, subgraph_search
+from repro.matching.subgraph_search import SearchStatistics, subgraph_search_iter
 from repro.matching.turbo import Solution, TurboMatcher
 
 
@@ -85,6 +94,12 @@ class ParallelStats:
         return total / busiest
 
 
+#: Solutions per batch a worker pushes to the consumer: large enough to keep
+#: queue traffic negligible, small enough to bound worker memory and
+#: cancellation latency inside one combinatorial candidate region.
+_SOLUTION_BATCH_SIZE = 256
+
+
 class ParallelMatcher:
     """Matches a query by distributing starting vertices over worker threads."""
 
@@ -99,37 +114,67 @@ class ParallelMatcher:
         self.config = config if config is not None else MatchConfig.turbo_hom_pp()
         self.workers = max(1, workers)
         self.chunk_size = max(1, chunk_size)
+        self.last_stats: Optional[ParallelStats] = None
 
     def match(
         self,
         query: QueryGraph,
         vertex_predicates: Optional[Dict[int, VertexPredicate]] = None,
-    ) -> tuple[List[Solution], ParallelStats]:
+    ) -> Tuple[List[Solution], ParallelStats]:
         """Return all solutions plus parallel execution statistics."""
+        solutions = list(self.iter_match(query, vertex_predicates))
+        assert self.last_stats is not None
+        return solutions, self.last_stats
+
+    def iter_match(
+        self,
+        query: QueryGraph,
+        vertex_predicates: Optional[Dict[int, VertexPredicate]] = None,
+    ) -> Iterator[Solution]:
+        """Stream solutions as worker threads produce them.
+
+        ``self.last_stats`` is populated once the generator is exhausted.
+        """
         start_time = time.perf_counter()
         predicates = vertex_predicates or {}
+
+        limit = self.config.max_results
+        if limit is not None and limit <= 0:
+            self.last_stats = ParallelStats(
+                workers=self.workers,
+                chunk_size=self.chunk_size,
+                elapsed_ms=0.0,
+                solutions=0,
+            )
+            return
 
         if query.vertex_count() <= 1 or self.workers == 1:
             # Single-vertex queries and the 1-worker case fall back to the
             # sequential matcher (identical semantics, simpler bookkeeping).
             matcher = TurboMatcher(self.graph, self.config)
-            solutions = matcher.match(query, vertex_predicates=predicates)
+            solutions_count = 0
+            for solution in matcher.iter_match(query, vertex_predicates=predicates):
+                solutions_count += 1
+                yield solution
             elapsed = (time.perf_counter() - start_time) * 1000.0
-            work = matcher.last_statistics.region_vertices + matcher.last_statistics.search.recursions
-            return solutions, ParallelStats(
+            sequential = matcher.last_statistics
+            work = sequential.region_vertices + sequential.search.recursions
+            self.last_stats = ParallelStats(
                 workers=1,
                 chunk_size=self.chunk_size,
                 elapsed_ms=elapsed,
-                solutions=len(solutions),
+                solutions=solutions_count,
                 per_worker_work=[work],
                 per_chunk_work=[work],
             )
+            return
 
         start_vertex, start_candidates = choose_start_vertex(self.graph, query, self.config)
         tree = write_query_tree(query, start_vertex)
+        requirements = query_requirements(query, self.config)
+        #: Evaluated lazily inside the workers (like TurboMatcher's start
+        #: loop) so early stops skip it for untouched start vertices.
         root_predicate = predicates.get(start_vertex)
-        if root_predicate is not None:
-            start_candidates = [v for v in start_candidates if root_predicate(v)]
 
         # Dynamic chunking: workers repeatedly pop small chunks of starting
         # vertices, which evens out skewed candidate-region sizes.
@@ -137,52 +182,100 @@ class ParallelMatcher:
         for begin in range(0, len(start_candidates), self.chunk_size):
             chunks.put(start_candidates[begin:begin + self.chunk_size])
 
-        solutions_lock = threading.Lock()
-        all_solutions: List[Solution] = []
+        #: Bounded handoff of solution batches (backpressure: a slow consumer
+        #: suspends the workers instead of accumulating the full result set).
+        #: ``None`` entries are wake tokens a finishing worker leaves so the
+        #: consumer re-checks thread liveness promptly.
+        output: "queue.Queue[Optional[List[Solution]]]" = queue.Queue(
+            maxsize=max(2 * self.workers, 8)
+        )
+        #: Set when the consumer stops early (result limit reached or the
+        #: generator abandoned): workers finish their current region and exit
+        #: instead of searching the rest of the queue.
+        stop = threading.Event()
+        #: Work counters and errors are reported through shared state (under
+        #: a lock) rather than queue markers, so delivering them can never
+        #: block on the bounded queue.
+        state_lock = threading.Lock()
         per_worker_work = [0] * self.workers
         per_chunk_work: List[int] = []
+        worker_errors: List[BaseException] = []
+
+        def emit(batch: List[Solution]) -> bool:
+            """Stop-aware bounded put; False once the consumer stopped."""
+            while not stop.is_set():
+                try:
+                    output.put(batch, timeout=0.05)
+                    return True
+                except queue.Full:
+                    continue
+            return False
 
         def worker(worker_index: int) -> None:
-            local_solutions: List[Solution] = []
             local_work = 0
             local_chunk_work: List[int] = []
             reused_order: Optional[List[int]] = None
-            while True:
+            try:
+                while not stop.is_set():
+                    try:
+                        chunk = chunks.get_nowait()
+                    except queue.Empty:
+                        break
+                    chunk_work_before = local_work
+                    for start_data_vertex in chunk:
+                        # Per-region stop check: cancellation takes effect
+                        # between regions (and, below, between batches).
+                        if stop.is_set():
+                            break
+                        if root_predicate is not None and not root_predicate(start_data_vertex):
+                            continue
+                        region = explore_candidate_region(
+                            self.graph, query, tree, self.config, start_data_vertex,
+                            predicates, requirements,
+                        )
+                        if region is None:
+                            continue
+                        local_work += region.size()
+                        if self.config.reuse_matching_order:
+                            if reused_order is None:
+                                reused_order = determine_matching_order(tree, region)
+                            order = reused_order
+                        else:
+                            order = determine_matching_order(tree, region)
+                        search_stats = SearchStatistics()
+                        # Stream the region's solutions out in fixed-size
+                        # batches rather than materializing the whole region:
+                        # bounds worker memory on combinatorial regions and
+                        # lets the stop signal interrupt mid-region.
+                        batch: List[Solution] = []
+                        for solution in subgraph_search_iter(
+                            self.graph, query, tree, region, order, self.config, search_stats
+                        ):
+                            batch.append(solution)
+                            if len(batch) >= _SOLUTION_BATCH_SIZE:
+                                if not emit(batch):
+                                    batch = []
+                                    break
+                                batch = []
+                        if batch:
+                            emit(batch)
+                        local_work += search_stats.recursions
+                    local_chunk_work.append(local_work - chunk_work_before)
+            except BaseException as exc:  # noqa: BLE001 - re-raised on the consumer side
+                with state_lock:
+                    worker_errors.append(exc)
+            finally:
+                with state_lock:
+                    per_worker_work[worker_index] += local_work
+                    per_chunk_work.extend(local_chunk_work)
                 try:
-                    chunk = chunks.get_nowait()
-                except queue.Empty:
-                    break
-                chunk_work_before = local_work
-                for start_data_vertex in chunk:
-                    region = explore_candidate_region(
-                        self.graph, query, tree, self.config, start_data_vertex, predicates
-                    )
-                    if region is None:
-                        continue
-                    local_work += region.size()
-                    if self.config.reuse_matching_order:
-                        if reused_order is None:
-                            reused_order = determine_matching_order(tree, region)
-                        order = reused_order
-                    else:
-                        order = determine_matching_order(tree, region)
-                    search_stats = SearchStatistics()
-                    subgraph_search(
-                        self.graph,
-                        query,
-                        tree,
-                        region,
-                        order,
-                        self.config,
-                        lambda mapping: (local_solutions.append(mapping) or True),
-                        search_stats,
-                    )
-                    local_work += search_stats.recursions
-                local_chunk_work.append(local_work - chunk_work_before)
-            with solutions_lock:
-                all_solutions.extend(local_solutions)
-                per_worker_work[worker_index] += local_work
-                per_chunk_work.extend(local_chunk_work)
+                    # Wake token so the consumer notices this worker finished
+                    # without waiting out its poll timeout; dropping it when
+                    # the queue is full is fine — a full queue means the
+                    # consumer is active and will poll liveness soon.
+                    output.put_nowait(None)
+                except queue.Full:
+                    pass
 
         threads = [
             threading.Thread(target=worker, args=(index,), name=f"turbohom-worker-{index}")
@@ -190,16 +283,50 @@ class ParallelMatcher:
         ]
         for thread in threads:
             thread.start()
-        for thread in threads:
-            thread.join()
 
-        elapsed = (time.perf_counter() - start_time) * 1000.0
-        stats = ParallelStats(
-            workers=self.workers,
-            chunk_size=self.chunk_size,
-            elapsed_ms=elapsed,
-            solutions=len(all_solutions),
-            per_worker_work=per_worker_work,
-            per_chunk_work=per_chunk_work,
-        )
-        return all_solutions, stats
+        solutions_count = 0
+        stopped_early = False
+        try:
+            while not stopped_early:
+                try:
+                    batch = output.get(timeout=0.05)
+                except queue.Empty:
+                    if any(thread.is_alive() for thread in threads):
+                        continue
+                    # All workers finished: drain whatever is left, then stop.
+                    try:
+                        batch = output.get_nowait()
+                    except queue.Empty:
+                        break
+                if batch is None:
+                    continue
+                for solution in batch:
+                    solutions_count += 1
+                    yield solution
+                    if limit is not None and solutions_count >= limit:
+                        stopped_early = True
+                        break
+        finally:
+            # Reached on exhaustion, on the result limit, and on generator
+            # abandonment: tell workers to stop after their current batch
+            # (emit() and the region loop poll the event), then join them.
+            stop.set()
+            for thread in threads:
+                thread.join()
+            elapsed = (time.perf_counter() - start_time) * 1000.0
+            self.last_stats = ParallelStats(
+                workers=self.workers,
+                chunk_size=self.chunk_size,
+                elapsed_ms=elapsed,
+                solutions=solutions_count,
+                per_worker_work=per_worker_work,
+                per_chunk_work=per_chunk_work,
+            )
+        # A worker error is surfaced only when the enumeration ran to
+        # exhaustion.  After an intentional early stop (max_results reached)
+        # the delivered solutions are complete and the sequential path would
+        # never have touched the failing region either — raising here would
+        # make the same query non-deterministically raise or succeed
+        # depending on worker timing.
+        if worker_errors and not stopped_early:
+            raise worker_errors[0]

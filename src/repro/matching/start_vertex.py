@@ -21,7 +21,7 @@ from typing import List, Optional, Tuple
 from repro.graph.labeled_graph import LabeledGraph
 from repro.graph.query_graph import QueryGraph
 from repro.matching.config import MatchConfig
-from repro.matching.filters import passes_filters
+from repro.matching.filters import passes_filters, vertex_requirements
 
 
 def candidate_start_vertices(
@@ -45,19 +45,24 @@ def candidate_start_vertices(
     if vertex.labels:
         return graph.vertices_with_labels(vertex.labels)
     # No label, no ID: use the predicate index of an incident labeled edge.
-    best: Optional[List[int]] = None
+    # The candidates are selected by posting-list *size* (CSR offsets only);
+    # the winning list is materialized once at the end.
+    best: Optional[Tuple[int, bool, int]] = None  # (count, outgoing, edge label)
     for edge in query.out_edges(query_vertex):
         if edge.label is not None and edge.label >= 0:
-            subjects = graph.predicate_subjects(edge.label)
-            if best is None or len(subjects) < len(best):
-                best = subjects
+            count = graph.predicate_subject_count(edge.label)
+            if best is None or count < best[0]:
+                best = (count, True, edge.label)
     for edge in query.in_edges(query_vertex):
         if edge.label is not None and edge.label >= 0:
-            objects = graph.predicate_objects(edge.label)
-            if best is None or len(objects) < len(best):
-                best = objects
+            count = graph.predicate_object_count(edge.label)
+            if best is None or count < best[0]:
+                best = (count, False, edge.label)
     if best is not None:
-        return list(best)
+        _, outgoing, edge_label = best
+        if outgoing:
+            return graph.predicate_subjects(edge_label)
+        return graph.predicate_objects(edge_label)
     return list(graph.vertices())
 
 
@@ -75,11 +80,11 @@ def estimate_frequency(graph: LabeledGraph, query: QueryGraph, query_vertex: int
     best: Optional[int] = None
     for edge in query.out_edges(query_vertex):
         if edge.label is not None and edge.label >= 0:
-            count = len(graph.predicate_subjects(edge.label))
+            count = graph.predicate_subject_count(edge.label)
             best = count if best is None else min(best, count)
     for edge in query.in_edges(query_vertex):
         if edge.label is not None and edge.label >= 0:
-            count = len(graph.predicate_objects(edge.label))
+            count = graph.predicate_object_count(edge.label)
             best = count if best is None else min(best, count)
     return best if best is not None else graph.vertex_count
 
@@ -108,6 +113,7 @@ def choose_start_vertex(
     for u in top_k:
         candidates = candidate_start_vertices(graph, query, u)
         if config.use_degree_filter or config.use_nlf_filter:
+            requirements = vertex_requirements(query, u, config.homomorphism)
             candidates = [
                 v
                 for v in candidates
@@ -119,6 +125,7 @@ def choose_start_vertex(
                     config.homomorphism,
                     config.use_degree_filter,
                     config.use_nlf_filter,
+                    requirements,
                 )
             ]
         if best_candidates is None or len(candidates) < len(best_candidates):

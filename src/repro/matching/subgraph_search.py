@@ -6,25 +6,33 @@ non-tree edges to already-matched query vertices are verified:
 
 * **original IsJoinable** — for each candidate, each non-tree edge is tested
   with a binary-search membership probe (``use_intersection=False``),
-* **+INT** — the candidate list is intersected in bulk with the adjacency
-  lists of the already-matched endpoints, one k-way sorted intersection per
-  step instead of per-candidate probes (Section 4.3).
+* **+INT** — the candidate list is intersected in bulk with the CSR
+  adjacency *windows* of the already-matched endpoints, one k-way sorted
+  intersection per step instead of per-candidate probes (Section 4.3), with
+  no posting-list copies.
 
 The injectivity test (line 4–6 of Algorithm 2) is applied only under
 isomorphism semantics; removing it is exactly the modification that turns
 TurboISO into TurboHOM (Section 2.2).
+
+The core is the generator :func:`subgraph_search_iter`, which yields complete
+mappings one at a time so consumers (``TurboMatcher.iter_match``, the
+parallel matcher, the engines) can stream solutions without materializing
+result lists; :func:`subgraph_search` is the callback adapter kept for
+callers that want early-stop semantics.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from bisect import bisect_left
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.graph.labeled_graph import LabeledGraph
 from repro.graph.query_graph import QueryEdge, QueryGraph
 from repro.matching.candidate_region import CandidateRegion
 from repro.matching.config import MatchConfig
 from repro.matching.query_tree import QueryTree
-from repro.utils.intersect import intersect_many
+from repro.utils.intersect import Window, as_window, intersect_windows
 
 #: Called with the complete mapping (query vertex index -> data vertex id);
 #: returns False to stop the search early (e.g. when max_results is reached).
@@ -65,44 +73,149 @@ def _non_tree_edges_by_vertex(
     return grouped
 
 
-def _adjacency_for_edge(
+def _adjacency_window_for_edge(
     graph: LabeledGraph, edge: QueryEdge, current: int, mapping: List[int]
-) -> List[int]:
-    """Data vertices that can be matched to ``current`` so that ``edge`` exists.
+) -> Window:
+    """Data vertices matchable to ``current`` so that ``edge`` exists.
 
     ``edge`` connects ``current`` to an already-matched query vertex; the
-    returned (sorted) list contains the data vertices adjacent to the matched
-    endpoint in the direction required by the edge.
+    returned window views the data vertices adjacent to the matched endpoint
+    in the direction required by the edge.
     """
     if edge.source == current:
         matched = mapping[edge.target]
-        return graph.in_neighbors(matched, edge.label)
+        return graph.in_window(matched, edge.label)
     matched = mapping[edge.source]
-    return graph.out_neighbors(matched, edge.label)
+    return graph.out_window(matched, edge.label)
 
 
-def _is_joinable(
+
+
+def subgraph_search_iter(
     graph: LabeledGraph,
-    edges: Sequence[QueryEdge],
-    current: int,
-    candidate: int,
-    mapping: List[int],
-    stats: SearchStatistics,
-) -> bool:
-    """Original IsJoinable: membership probe per non-tree edge."""
-    for edge in edges:
+    query: QueryGraph,
+    tree: QueryTree,
+    region: CandidateRegion,
+    order: Sequence[int],
+    config: MatchConfig,
+    stats: Optional[SearchStatistics] = None,
+) -> Iterator[List[int]]:
+    """Yield every mapping of one candidate region, one solution at a time.
+
+    ``order[0]`` must be the tree root, already bound to the region's start
+    data vertex.  Each yielded list is a fresh copy, safe for the consumer to
+    keep.  Abandoning the generator mid-iteration is the streaming
+    equivalent of an early-stop callback.
+    """
+    stats = stats if stats is not None else SearchStatistics()
+    vertex_count = query.vertex_count()
+    mapping: List[int] = [-1] * vertex_count
+    mapping[tree.root] = region.start_data_vertex
+    used: Dict[int, int] = {}
+    homomorphism = config.homomorphism
+    if not homomorphism:
+        used[region.start_data_vertex] = 1
+
+    non_tree = _non_tree_edges_by_vertex(query, tree, order)
+    total_depth = len(order)
+
+    # Non-tree edges grouped at the root can only be self-loops (every other
+    # vertex comes later in the order); verify them against the start vertex
+    # before the search begins.
+    for edge in non_tree.get(order[0], []):
         stats.joinable_probes += 1
-        if edge.source == edge.target:
-            # Self-loop pattern (?x p ?x): the candidate must have the loop.
-            if not graph.has_edge(candidate, candidate, edge.label):
-                return False
-        elif edge.source == current:
-            if not graph.has_edge(candidate, mapping[edge.target], edge.label):
-                return False
-        else:
-            if not graph.has_edge(mapping[edge.source], candidate, edge.label):
-                return False
-    return True
+        if not graph.has_edge(region.start_data_vertex, region.start_data_vertex, edge.label):
+            return
+
+    use_intersection = config.use_intersection
+    #: Per query vertex: the non-tree edges split into self-loops (checked by
+    #: per-candidate has_edge probes in both strategies) and cross edges
+    #: (adjacency of the already-matched endpoint).
+    split_edges: Dict[int, Tuple[List[QueryEdge], List[QueryEdge]]] = {}
+    for vertex, edges in non_tree.items():
+        loops = [e for e in edges if e.source == e.target]
+        cross = [e for e in edges if e.source != e.target]
+        split_edges[vertex] = (loops, cross)
+
+    has_edge = graph.has_edge
+
+    def recurse(depth: int) -> Iterator[List[int]]:
+        stats.recursions += 1
+        if depth == total_depth:
+            stats.solutions += 1
+            yield list(mapping)
+            return
+        current = order[depth]
+        parent = tree.parent[current]
+        candidates: Sequence[int] = region.get(current, mapping[parent])
+        loop_edges, cross_edges = split_edges[current]
+
+        # A cross edge connects ``current`` to an endpoint already matched at
+        # this depth, so its adjacency window is fixed for the whole
+        # candidate loop and is computed once per step.
+        probe_windows: List[Window] = []
+        probe_edges: List[QueryEdge] = []
+        if cross_edges:
+            if use_intersection:
+                # +INT: one bulk intersection of the candidate list with all
+                # cross-edge windows (Section 4.3).
+                stats.intersection_calls += 1
+                windows: List[Window] = [as_window(candidates)]
+                for edge in cross_edges:
+                    windows.append(_adjacency_window_for_edge(graph, edge, current, mapping))
+                candidates = intersect_windows(windows)
+            else:
+                # Original IsJoinable: one binary-search membership probe per
+                # candidate inside each fixed window.  Blank-label edges stay
+                # on per-candidate has_edge probes — their "window" would be
+                # a fresh union of every per-label posting list of the
+                # matched endpoint, an O(degree) copy per step.
+                for edge in cross_edges:
+                    if edge.label is None:
+                        probe_edges.append(edge)
+                    else:
+                        probe_windows.append(
+                            _adjacency_window_for_edge(graph, edge, current, mapping)
+                        )
+
+        for candidate in candidates:
+            if not homomorphism and used.get(candidate):
+                continue
+            joinable = True
+            for base, lo, hi in probe_windows:
+                stats.joinable_probes += 1
+                i = bisect_left(base, candidate, lo, hi)
+                if i >= hi or base[i] != candidate:
+                    joinable = False
+                    break
+            if joinable:
+                for edge in probe_edges:
+                    stats.joinable_probes += 1
+                    if edge.source == current:
+                        exists = has_edge(candidate, mapping[edge.target], edge.label)
+                    else:
+                        exists = has_edge(mapping[edge.source], candidate, edge.label)
+                    if not exists:
+                        joinable = False
+                        break
+            if joinable:
+                for edge in loop_edges:
+                    # Self-loop pattern (?x p ?x): the candidate must have the loop.
+                    stats.joinable_probes += 1
+                    if not has_edge(candidate, candidate, edge.label):
+                        joinable = False
+                        break
+            if not joinable:
+                continue
+            mapping[current] = candidate
+            if not homomorphism:
+                used[candidate] = used.get(candidate, 0) + 1
+            yield from recurse(depth + 1)
+            mapping[current] = -1
+            if not homomorphism:
+                used[candidate] -= 1
+
+    yield from recurse(1)
 
 
 def subgraph_search(
@@ -115,69 +228,11 @@ def subgraph_search(
     on_solution: SolutionCallback,
     stats: Optional[SearchStatistics] = None,
 ) -> bool:
-    """Enumerate all mappings for one candidate region.
+    """Enumerate all mappings for one candidate region through a callback.
 
-    ``order[0]`` must be the tree root, already bound to the region's start
-    data vertex.  Returns False when the callback requested an early stop.
+    Returns False when the callback requested an early stop.
     """
-    stats = stats if stats is not None else SearchStatistics()
-    vertex_count = query.vertex_count()
-    mapping: List[int] = [-1] * vertex_count
-    mapping[tree.root] = region.start_data_vertex
-    used: Dict[int, int] = {}
-    if not config.homomorphism:
-        used[region.start_data_vertex] = 1
-
-    non_tree = _non_tree_edges_by_vertex(query, tree, order)
-    total_depth = len(order)
-
-    # Non-tree edges grouped at the root can only be self-loops (every other
-    # vertex comes later in the order); verify them against the start vertex
-    # before the search begins.
-    for edge in non_tree.get(order[0], []):
-        stats.joinable_probes += 1
-        if not graph.has_edge(region.start_data_vertex, region.start_data_vertex, edge.label):
-            return True
-
-    def recurse(depth: int) -> bool:
-        stats.recursions += 1
-        if depth == total_depth:
-            stats.solutions += 1
-            return on_solution(list(mapping))
-        current = order[depth]
-        parent = tree.parent[current]
-        candidates = region.get(current, mapping[parent])
-        check_edges = non_tree.get(current, [])
-
-        if config.use_intersection and check_edges:
-            # +INT: one bulk intersection for all non-tree edges of this step.
-            # Self-loop edges cannot be expressed as a fixed adjacency list,
-            # so they stay on the per-candidate probe path.
-            bulk_edges = [e for e in check_edges if e.source != e.target]
-            check_edges = [e for e in check_edges if e.source == e.target]
-            if bulk_edges:
-                stats.intersection_calls += 1
-                lists: List[Sequence[int]] = [candidates]
-                for edge in bulk_edges:
-                    lists.append(_adjacency_for_edge(graph, edge, current, mapping))
-                candidates = intersect_many(lists)
-
-        for candidate in candidates:
-            if not config.homomorphism and used.get(candidate):
-                continue
-            if check_edges and not _is_joinable(
-                graph, check_edges, current, candidate, mapping, stats
-            ):
-                continue
-            mapping[current] = candidate
-            if not config.homomorphism:
-                used[candidate] = used.get(candidate, 0) + 1
-            keep_going = recurse(depth + 1)
-            mapping[current] = -1
-            if not config.homomorphism:
-                used[candidate] -= 1
-            if not keep_going:
-                return False
-        return True
-
-    return recurse(1)
+    for mapping in subgraph_search_iter(graph, query, tree, region, order, config, stats):
+        if not on_solution(mapping):
+            return False
+    return True

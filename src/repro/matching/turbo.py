@@ -12,6 +12,12 @@ paper's systems are just three factory functions:
   optimizations (the "direct modification" of Section 2.2),
 * :func:`turbo_hom_pp` — e-graph homomorphism with +INT, -NLF, -DEG, +REUSE.
 
+The primitive API is the streaming generator :meth:`TurboMatcher.iter_match`:
+solutions are produced one at a time straight out of the candidate-region
+search, so consumers (engines, the parallel matcher, result limits) never
+force a full result list into memory.  :meth:`match`, :meth:`count` and
+:meth:`match_with_callback` are thin adapters over it.
+
 The matcher operates on vertex mappings only; edge-label mappings for
 predicate variables (the ``Me`` of Definition 2) are enumerated by the
 caller via :meth:`LabeledGraph.edge_labels_between`, which keeps the hot
@@ -21,21 +27,21 @@ search loop free of per-edge bookkeeping.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Optional, Sequence
+from typing import Callable, Dict, Iterator, List, Optional
 
 from repro.graph.labeled_graph import LabeledGraph
 from repro.graph.query_graph import QueryGraph
 from repro.matching.candidate_region import (
-    CandidateRegion,
     VertexPredicate,
     explore_candidate_region,
+    query_requirements,
 )
 from repro.matching.config import MatchConfig
-from repro.matching.filters import passes_filters
+from repro.matching.filters import passes_filters, vertex_requirements
 from repro.matching.matching_order import determine_matching_order
-from repro.matching.query_tree import QueryTree, write_query_tree
+from repro.matching.query_tree import write_query_tree
 from repro.matching.start_vertex import candidate_start_vertices, choose_start_vertex
-from repro.matching.subgraph_search import SearchStatistics, subgraph_search
+from repro.matching.subgraph_search import SearchStatistics, subgraph_search_iter
 
 #: A solution maps query vertex index -> data vertex id.
 Solution = List[int]
@@ -61,6 +67,29 @@ class TurboMatcher:
         self.last_statistics = MatchStatistics()
 
     # -------------------------------------------------------------- main API
+    def iter_match(
+        self,
+        query: QueryGraph,
+        vertex_predicates: Optional[Dict[int, VertexPredicate]] = None,
+        max_results: Optional[int] = None,
+    ) -> Iterator[Solution]:
+        """Stream all vertex mappings of ``query`` in the data graph.
+
+        Solutions are yielded as they are found; ``max_results`` (or the
+        config's ``max_results``) stops the enumeration after that many
+        solutions.  ``self.last_statistics`` reflects the work done so far at
+        any point of the iteration.
+        """
+        limit = max_results if max_results is not None else self.config.max_results
+        if limit is not None and limit <= 0:
+            return
+        produced = 0
+        for mapping in self._iter_solutions(query, vertex_predicates or {}):
+            produced += 1
+            yield mapping
+            if limit is not None and produced >= limit:
+                return
+
     def match(
         self,
         query: QueryGraph,
@@ -68,26 +97,14 @@ class TurboMatcher:
         max_results: Optional[int] = None,
     ) -> List[Solution]:
         """Return all vertex mappings of ``query`` in the data graph."""
-        solutions: List[Solution] = []
-        limit = max_results if max_results is not None else self.config.max_results
-
-        def collect(mapping: Solution) -> bool:
-            solutions.append(mapping)
-            return limit is None or len(solutions) < limit
-
-        self.match_with_callback(query, collect, vertex_predicates)
-        return solutions
+        return list(self.iter_match(query, vertex_predicates, max_results))
 
     def count(self, query: QueryGraph, vertex_predicates=None) -> int:
         """Count solutions without materializing them."""
-        counter = [0]
-
-        def count_one(_: Solution) -> bool:
-            counter[0] += 1
-            return True
-
-        self.match_with_callback(query, count_one, vertex_predicates)
-        return counter[0]
+        counter = 0
+        for _ in self._iter_solutions(query, vertex_predicates or {}):
+            counter += 1
+        return counter
 
     def match_with_callback(
         self,
@@ -96,25 +113,38 @@ class TurboMatcher:
         vertex_predicates: Optional[Dict[int, VertexPredicate]] = None,
     ) -> MatchStatistics:
         """Enumerate solutions through a callback (return False to stop)."""
+        for mapping in self._iter_solutions(query, vertex_predicates or {}):
+            if not on_solution(mapping):
+                break
+        return self.last_statistics
+
+    # ----------------------------------------------------------------- core
+    def _iter_solutions(
+        self,
+        query: QueryGraph,
+        predicates: Dict[int, VertexPredicate],
+    ) -> Iterator[Solution]:
+        """Generator core shared by every public entry point."""
         stats = MatchStatistics()
         self.last_statistics = stats
-        predicates = vertex_predicates or {}
 
         if query.vertex_count() == 0:
-            on_solution([])
-            return stats
+            stats.solutions += 1
+            yield []
+            return
         if not query.is_connected():
             raise ValueError(
                 "TurboMatcher requires a connected query graph; split disconnected "
                 "patterns into components (the engine layer does this automatically)"
             )
         if query.vertex_count() == 1 and query.edge_count() == 0:
-            self._match_single_vertex(query, on_solution, predicates, stats)
-            return stats
+            yield from self._iter_single_vertex(query, predicates, stats)
+            return
 
         start_vertex, start_candidates = choose_start_vertex(self.graph, query, self.config)
         root_predicate = predicates.get(start_vertex)
         tree = write_query_tree(query, start_vertex)
+        requirements = query_requirements(query, self.config)
         stats.start_vertices = len(start_candidates)
 
         reused_order: Optional[List[int]] = None
@@ -122,7 +152,8 @@ class TurboMatcher:
             if root_predicate is not None and not root_predicate(start_data_vertex):
                 continue
             region = explore_candidate_region(
-                self.graph, query, tree, self.config, start_data_vertex, predicates
+                self.graph, query, tree, self.config, start_data_vertex, predicates,
+                requirements,
             )
             if region is None:
                 continue
@@ -134,29 +165,30 @@ class TurboMatcher:
                 order = reused_order
             else:
                 order = determine_matching_order(tree, region)
-            keep_going = subgraph_search(
-                self.graph, query, tree, region, order, self.config, on_solution, stats.search
-            )
-            if not keep_going:
-                break
-        stats.solutions = stats.search.solutions
-        return stats
+            for mapping in subgraph_search_iter(
+                self.graph, query, tree, region, order, self.config, stats.search
+            ):
+                stats.solutions += 1
+                yield mapping
 
     # ---------------------------------------------------------- special case
-    def _match_single_vertex(
+    def _iter_single_vertex(
         self,
         query: QueryGraph,
-        on_solution: Callable[[Solution], bool],
         predicates: Dict[int, VertexPredicate],
         stats: MatchStatistics,
-    ) -> None:
+    ) -> Iterator[Solution]:
         """Algorithm 1, lines 2–4: queries with a single vertex and no edge."""
         candidates = candidate_start_vertices(self.graph, query, 0)
         predicate = predicates.get(0)
+        use_filters = self.config.use_degree_filter or self.config.use_nlf_filter
+        requirements = (
+            vertex_requirements(query, 0, self.config.homomorphism) if use_filters else None
+        )
         for data_vertex in candidates:
             if predicate is not None and not predicate(data_vertex):
                 continue
-            if (self.config.use_degree_filter or self.config.use_nlf_filter) and not passes_filters(
+            if use_filters and not passes_filters(
                 self.graph,
                 query,
                 0,
@@ -164,11 +196,11 @@ class TurboMatcher:
                 self.config.homomorphism,
                 self.config.use_degree_filter,
                 self.config.use_nlf_filter,
+                requirements,
             ):
                 continue
             stats.solutions += 1
-            if not on_solution([data_vertex]):
-                return
+            yield [data_vertex]
 
 
 # ---------------------------------------------------------------- factories

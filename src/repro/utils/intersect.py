@@ -1,17 +1,37 @@
-"""Sorted integer-list set algebra.
+"""Sorted integer set algebra over posting lists and zero-copy windows.
 
 These helpers are the pure-Python analogue of the sorted offset arrays the
-paper's C++ implementation iterates over (Figure 9).  All functions assume
-their inputs are strictly increasing lists of integers and return new sorted
-lists.  The k-way intersection is the core of the ``+INT`` optimization
-(Section 4.3): a bulk IsJoinable test replaces per-candidate binary searches
-with a single multi-list merge.
+paper's C++ implementation iterates over (Figure 9).  Posting data lives in
+flat arrays; a *window* is the triple ``(base, lo, hi)`` denoting the
+half-open run ``base[lo:hi]`` of a strictly increasing integer array.  The
+CSR graph core hands out windows instead of list copies, and the k-way
+intersection — the core of the ``+INT`` optimization (Section 4.3), one bulk
+IsJoinable test replacing per-candidate binary searches — merges or gallops
+directly inside the underlying arrays.
+
+The list-based functions (:func:`intersect_many`, :func:`union_many`, …) are
+retained for callers that own plain lists; they delegate to the window
+implementations.
 """
 
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Sequence, Tuple
+
+#: A zero-copy view of the sorted run ``base[lo:hi]``.
+Window = Tuple[Sequence[int], int, int]
+
+
+def as_window(values: Sequence[int]) -> Window:
+    """Wrap a whole sorted sequence as a window."""
+    return (values, 0, len(values))
+
+
+def window_list(window: Window) -> List[int]:
+    """Materialize a window as a plain list."""
+    base, lo, hi = window
+    return list(base[lo:hi])
 
 
 def contains_sorted(sorted_list: Sequence[int], value: int) -> bool:
@@ -20,15 +40,25 @@ def contains_sorted(sorted_list: Sequence[int], value: int) -> bool:
     return i < len(sorted_list) and sorted_list[i] == value
 
 
-def intersect_sorted(a: Sequence[int], b: Sequence[int]) -> List[int]:
-    """Intersect two sorted lists with a linear merge."""
+def window_contains(window: Window, value: int) -> bool:
+    """Binary-search membership test inside a window."""
+    base, lo, hi = window
+    i = bisect_left(base, value, lo, hi)
+    return i < hi and base[i] == value
+
+
+# ------------------------------------------------------------- intersection
+def _merge_windows(a: Window, b: Window) -> List[int]:
+    """Linear merge intersection of two windows."""
+    base_a, i, len_a = a
+    base_b, j, len_b = b
     result: List[int] = []
-    i = j = 0
-    len_a, len_b = len(a), len(b)
+    append = result.append
     while i < len_a and j < len_b:
-        x, y = a[i], b[j]
+        x = base_a[i]
+        y = base_b[j]
         if x == y:
-            result.append(x)
+            append(x)
             i += 1
             j += 1
         elif x < y:
@@ -38,87 +68,141 @@ def intersect_sorted(a: Sequence[int], b: Sequence[int]) -> List[int]:
     return result
 
 
-def galloping_intersect(small: Sequence[int], large: Sequence[int]) -> List[int]:
-    """Intersect a small sorted list against a much larger one.
+def _gallop_windows(small: Window, large: Window) -> List[int]:
+    """Intersect a small window against a much larger one.
 
-    For each element of ``small`` a binary search is performed in ``large``.
-    This matches the complexity term ``|CR| * sum(log |adj|)`` the paper gives
-    for the *original* IsJoinable strategy and is preferred automatically by
-    :func:`intersect_adaptive` when the size ratio is extreme.
+    For each element of ``small`` a bounded binary search is performed in
+    ``large``.  This matches the complexity term ``|CR| * sum(log |adj|)``
+    the paper gives for the *original* IsJoinable strategy and is preferred
+    automatically by :func:`_intersect_two` when the size ratio is extreme.
     """
+    base_s, lo_s, hi_s = small
+    base_l, lo, hi = large
     result: List[int] = []
-    lo = 0
-    n = len(large)
-    for value in small:
-        i = bisect_left(large, value, lo, n)
-        if i < n and large[i] == value:
-            result.append(value)
-        lo = i
+    append = result.append
+    for i in range(lo_s, hi_s):
+        value = base_s[i]
+        j = bisect_left(base_l, value, lo, hi)
+        if j < hi and base_l[j] == value:
+            append(value)
+        lo = j
     return result
 
 
-def intersect_adaptive(a: Sequence[int], b: Sequence[int]) -> List[int]:
-    """Intersect two sorted lists choosing merge vs galloping by size ratio.
+def _intersect_two(a: Window, b: Window) -> List[int]:
+    """Intersect two windows choosing merge vs galloping by size ratio.
 
     Mirrors the paper's observation that the modified IsJoinable ``can choose
     the k-way intersection strategy between scanning (k+1) sorted lists and
     performing binary searches``.
     """
-    if not a or not b:
+    size_a = a[2] - a[1]
+    size_b = b[2] - b[1]
+    if size_a == 0 or size_b == 0:
         return []
-    small, large = (a, b) if len(a) <= len(b) else (b, a)
+    small, large = (a, b) if size_a <= size_b else (b, a)
     # A 32x imbalance is the classic crossover where galloping wins.
-    if len(large) > 32 * len(small):
-        return galloping_intersect(small, large)
-    return intersect_sorted(a, b)
+    if (large[2] - large[1]) > 32 * (small[2] - small[1]):
+        return _gallop_windows(small, large)
+    return _merge_windows(small, large)
+
+
+def _window_size(window: Window) -> int:
+    return window[2] - window[1]
+
+
+def intersect_windows(windows: Sequence[Window]) -> List[int]:
+    """k-way intersection of sorted windows (smallest-first for early exit)."""
+    count = len(windows)
+    if count == 0:
+        return []
+    if count == 1:
+        return window_list(windows[0])
+    if count == 2:
+        # The dominant +INT case (one non-tree edge): skip the sort,
+        # _intersect_two orders the pair itself.
+        return _intersect_two(windows[0], windows[1])
+    ordered = sorted(windows, key=_window_size)
+    result = _intersect_two(ordered[0], ordered[1])
+    for other in ordered[2:]:
+        if not result:
+            return []
+        result = _intersect_two(as_window(result), other)
+    return result
+
+
+def intersect_sorted(a: Sequence[int], b: Sequence[int]) -> List[int]:
+    """Intersect two sorted lists with a linear merge."""
+    return _merge_windows(as_window(a), as_window(b))
+
+
+def galloping_intersect(small: Sequence[int], large: Sequence[int]) -> List[int]:
+    """Intersect a small sorted list against a much larger one."""
+    return _gallop_windows(as_window(small), as_window(large))
+
+
+def intersect_adaptive(a: Sequence[int], b: Sequence[int]) -> List[int]:
+    """Intersect two sorted lists choosing merge vs galloping by size ratio."""
+    return _intersect_two(as_window(a), as_window(b))
 
 
 def intersect_many(lists: Iterable[Sequence[int]]) -> List[int]:
-    """k-way intersection of sorted lists (smallest-first for early exit)."""
-    ordered = sorted((lst for lst in lists), key=len)
-    if not ordered:
-        return []
-    result: List[int] = list(ordered[0])
-    for other in ordered[1:]:
-        if not result:
-            return []
-        result = intersect_adaptive(result, other)
+    """k-way intersection of sorted lists."""
+    return intersect_windows([as_window(lst) for lst in lists])
+
+
+# -------------------------------------------------------------------- union
+def _merge_union(a: Window, b: Window) -> List[int]:
+    """Union of two windows with duplicates removed."""
+    base_a, i, len_a = a
+    base_b, j, len_b = b
+    result: List[int] = []
+    append = result.append
+    while i < len_a and j < len_b:
+        x = base_a[i]
+        y = base_b[j]
+        if x == y:
+            append(x)
+            i += 1
+            j += 1
+        elif x < y:
+            append(x)
+            i += 1
+        else:
+            append(y)
+            j += 1
+    if i < len_a:
+        result.extend(base_a[i:len_a])
+    if j < len_b:
+        result.extend(base_b[j:len_b])
     return result
 
 
 def union_sorted(a: Sequence[int], b: Sequence[int]) -> List[int]:
     """Union of two sorted lists with duplicates removed."""
+    return _merge_union(as_window(a), as_window(b))
+
+
+def union_windows(windows: Sequence[Window]) -> List[int]:
+    """Union of many sorted windows."""
     result: List[int] = []
-    i = j = 0
-    len_a, len_b = len(a), len(b)
-    while i < len_a and j < len_b:
-        x, y = a[i], b[j]
-        if x == y:
-            result.append(x)
-            i += 1
-            j += 1
-        elif x < y:
-            result.append(x)
-            i += 1
+    for window in windows:
+        base, lo, hi = window
+        if lo >= hi:
+            continue
+        if not result:
+            result = list(base[lo:hi])
         else:
-            result.append(y)
-            j += 1
-    if i < len_a:
-        result.extend(a[i:])
-    if j < len_b:
-        result.extend(b[j:])
+            result = _merge_union(as_window(result), window)
     return result
 
 
 def union_many(lists: Iterable[Sequence[int]]) -> List[int]:
     """Union of many sorted lists."""
-    result: List[int] = []
-    for lst in lists:
-        if lst:
-            result = union_sorted(result, lst) if result else list(lst)
-    return result
+    return union_windows([as_window(lst) for lst in lists])
 
 
+# --------------------------------------------------------------- difference
 def difference_sorted(a: Sequence[int], b: Sequence[int]) -> List[int]:
     """Elements of sorted list ``a`` not present in sorted list ``b``."""
     result: List[int] = []

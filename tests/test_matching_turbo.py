@@ -215,6 +215,68 @@ class TestAgainstOracle:
         assert all(len(set(solution)) == len(solution) for solution in iso)
 
 
+class TestAgainstOracleLarger:
+    """Oracle parity beyond toy sizes: 60 vertices / 240 edges, query size 4."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_homomorphism_matches_oracle_on_larger_graphs(self, seed):
+        rng = random.Random(seed)
+        graph = random_labeled_graph(rng, vertices=60, edges=240)
+        query = random_query(rng, size=4)
+        turbo = TurboMatcher(graph, MatchConfig.turbo_hom_pp())
+        oracle = GenericMatcher(graph, MatchConfig.turbo_hom_pp())
+        assert as_sets(turbo.match(query)) == as_sets(oracle.match(query))
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_isomorphism_matches_oracle_on_larger_graphs(self, seed):
+        rng = random.Random(seed)
+        graph = random_labeled_graph(rng, vertices=60, edges=240)
+        query = random_query(rng, size=4)
+        turbo = TurboMatcher(graph, MatchConfig.isomorphism())
+        oracle = GenericMatcher(graph, MatchConfig.isomorphism())
+        assert as_sets(turbo.match(query)) == as_sets(oracle.match(query))
+
+
+class TestIterMatch:
+    """The streaming generator API must agree with the materializing one."""
+
+    CONFIGS = ["isomorphism", "homomorphism_baseline", "turbo_hom_pp"]
+
+    @pytest.mark.parametrize("factory", CONFIGS)
+    def test_iter_match_yields_identical_solution_set(self, factory):
+        rng = random.Random(1597)
+        graph = random_labeled_graph(rng)
+        query = random_query(rng)
+        config = getattr(MatchConfig, factory)()
+        matcher = TurboMatcher(graph, config)
+        assert as_sets(matcher.iter_match(query)) == as_sets(matcher.match(query))
+
+    def test_iter_match_is_lazy(self, figure1_data_graph, figure1_query_graph):
+        matcher = turbo_hom_pp(figure1_data_graph)
+        iterator = matcher.iter_match(figure1_query_graph)
+        first = next(iterator)
+        assert len(first) == figure1_query_graph.vertex_count()
+        # Abandoning the generator mid-stream must be safe.
+        iterator.close()
+
+    def test_iter_match_respects_max_results(self, figure1_data_graph, figure1_query_graph):
+        matcher = turbo_hom_pp(figure1_data_graph)
+        assert len(list(matcher.iter_match(figure1_query_graph, max_results=2))) == 2
+
+    def test_parallel_iter_match_equals_match(self):
+        rng = random.Random(5)
+        graph = random_labeled_graph(rng, vertices=60, edges=240)
+        query = random_query(rng, size=3)
+        parallel = ParallelMatcher(graph, MatchConfig.turbo_hom_pp(), workers=4, chunk_size=2)
+        streamed = as_sets(parallel.iter_match(query))
+        assert parallel.last_stats is not None
+        assert parallel.last_stats.solutions == len(streamed)
+        solutions, _ = parallel.match(query)
+        assert streamed == as_sets(solutions)
+
+
 class TestParallelMatcher:
     def test_parallel_equals_sequential(self, figure1_data_graph, figure1_query_graph):
         sequential = turbo_hom_pp(figure1_data_graph).match(figure1_query_graph)
@@ -249,3 +311,31 @@ class TestParallelMatcher:
         solutions, stats = parallel.match(figure1_query_graph)
         assert stats.workers == 1
         assert len(solutions) == 3
+
+    def test_worker_exception_propagates_instead_of_hanging(self, figure1_data_graph, figure1_query_graph):
+        def explode(_data_vertex: int) -> bool:
+            raise RuntimeError("predicate boom")
+
+        parallel = ParallelMatcher(figure1_data_graph, MatchConfig.turbo_hom_pp(), workers=3)
+        # Predicate on a non-root query vertex so it raises inside a worker
+        # thread, not during start-vertex filtering on the consumer side.
+        with pytest.raises(RuntimeError, match="predicate boom"):
+            parallel.match(figure1_query_graph, vertex_predicates={1: explode, 2: explode})
+
+    def test_config_max_results_honored_across_worker_counts(self):
+        from dataclasses import replace
+
+        rng = random.Random(2)
+        graph = random_labeled_graph(rng, vertices=60, edges=240)
+        query = random_query(rng, size=3)
+        total = len(TurboMatcher(graph, MatchConfig.turbo_hom_pp()).match(query))
+        assert total > 2
+        config = replace(MatchConfig.turbo_hom_pp(), max_results=2)
+        for workers in (1, 4):
+            parallel = ParallelMatcher(graph, config, workers=workers, chunk_size=2)
+            solutions, _ = parallel.match(query)
+            assert len(solutions) == 2
+        zero = replace(MatchConfig.turbo_hom_pp(), max_results=0)
+        for workers in (1, 4):
+            solutions, _ = ParallelMatcher(graph, zero, workers=workers, chunk_size=2).match(query)
+            assert solutions == []

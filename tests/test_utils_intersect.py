@@ -3,15 +3,20 @@
 from hypothesis import given, strategies as st
 
 from repro.utils.intersect import (
+    as_window,
     contains_sorted,
     difference_sorted,
     galloping_intersect,
     intersect_adaptive,
     intersect_many,
     intersect_sorted,
+    intersect_windows,
     is_sorted_unique,
     union_many,
     union_sorted,
+    union_windows,
+    window_contains,
+    window_list,
 )
 
 sorted_ints = st.lists(st.integers(min_value=0, max_value=200), max_size=60).map(
@@ -90,6 +95,55 @@ class TestUnionDifference:
         assert not is_sorted_unique([1, 1, 2])
         assert not is_sorted_unique([3, 2])
         assert is_sorted_unique([])
+
+
+class TestWindows:
+    """Zero-copy (base, lo, hi) windows over one shared flat array."""
+
+    FLAT = [1, 2, 3, 4, 10, 2, 3, 5, 9, 0, 3, 4, 9]
+
+    def test_window_list_materializes_the_run(self):
+        assert window_list((self.FLAT, 5, 9)) == [2, 3, 5, 9]
+
+    def test_window_contains_respects_bounds(self):
+        window = (self.FLAT, 5, 9)
+        assert window_contains(window, 5)
+        assert not window_contains(window, 4)  # present outside the window only
+        assert not window_contains(window, 10)
+
+    def test_intersect_windows_inside_shared_array(self):
+        a = (self.FLAT, 0, 5)   # [1, 2, 3, 4, 10]
+        b = (self.FLAT, 5, 9)   # [2, 3, 5, 9]
+        c = (self.FLAT, 9, 13)  # [0, 3, 4, 9]
+        assert intersect_windows([a, b]) == [2, 3]
+        assert intersect_windows([a, b, c]) == [3]
+
+    def test_intersect_windows_empty_window_short_circuits(self):
+        assert intersect_windows([(self.FLAT, 0, 5), (self.FLAT, 3, 3)]) == []
+
+    def test_intersect_windows_single_window_copies(self):
+        result = intersect_windows([(self.FLAT, 5, 9)])
+        assert result == [2, 3, 5, 9]
+        result.append(99)
+        assert self.FLAT[5:9] == [2, 3, 5, 9]
+
+    def test_union_windows(self):
+        assert union_windows([(self.FLAT, 0, 4), (self.FLAT, 5, 9)]) == [1, 2, 3, 4, 5, 9]
+        assert union_windows([]) == []
+
+    @given(st.lists(sorted_ints, min_size=1, max_size=5))
+    def test_windows_match_list_semantics(self, lists):
+        flat = []
+        windows = []
+        for lst in lists:
+            windows.append((flat, len(flat), len(flat) + len(lst)))
+            flat.extend(lst)
+        assert intersect_windows(windows) == intersect_many(lists)
+        assert union_windows(windows) == union_many(lists)
+
+    @given(sorted_ints, sorted_ints)
+    def test_as_window_roundtrip(self, a, b):
+        assert intersect_windows([as_window(a), as_window(b)]) == intersect_sorted(a, b)
 
 
 class TestProperties:
