@@ -65,7 +65,7 @@ from repro.matching import (
     turbo_hom_pp,
     turbo_iso,
 )
-from repro.engine import TurboEngine, TurboHomEngine, TurboHomPPEngine
+from repro.engine import PlanCache, QueryPlan, TurboEngine, TurboHomEngine, TurboHomPPEngine
 from repro.baselines import BitmapEngine, RDF3XEngine, TripleBitEngine
 
 __version__ = "1.0.0"
@@ -112,6 +112,8 @@ __all__ = [
     "turbo_hom",
     "turbo_hom_pp",
     # engines
+    "PlanCache",
+    "QueryPlan",
     "TurboEngine",
     "TurboHomEngine",
     "TurboHomPPEngine",

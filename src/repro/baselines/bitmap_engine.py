@@ -16,6 +16,7 @@ handful of postings, while large joins degenerate into many probes.
 from __future__ import annotations
 
 from collections import defaultdict
+from itertools import islice
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.baselines.join import (
@@ -99,13 +100,15 @@ class BitmapBGPSolver(BGPSolver):
         self,
         patterns: Sequence[TriplePattern],
         cheap_filters: Sequence[expr.Expression] = (),
+        limit_hint: Optional[int] = None,
     ) -> Iterable[Binding]:
         id_bindings = nested_loop_bgp(
             patterns, self.store.dictionary, self.index.scan, self.index.estimate
         )
-        yield from decode_bindings(
+        decoded = decode_bindings(
             id_bindings, self.store.dictionary, predicate_variables_of(patterns)
         )
+        yield from decoded if limit_hint is None else islice(decoded, limit_hint)
 
 
 class BitmapEngine(Engine):

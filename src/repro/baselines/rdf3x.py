@@ -22,6 +22,7 @@ paper demonstrates in Table 3.
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
+from itertools import islice
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.baselines.join import (
@@ -141,13 +142,15 @@ class RDF3XBGPSolver(BGPSolver):
         self,
         patterns: Sequence[TriplePattern],
         cheap_filters: Sequence[expr.Expression] = (),
+        limit_hint: Optional[int] = None,
     ) -> Iterable[Binding]:
         id_bindings = scan_join_bgp(
             patterns, self.store.dictionary, self.index.scan, self.index.estimate
         )
-        yield from decode_bindings(
+        decoded = decode_bindings(
             id_bindings, self.store.dictionary, predicate_variables_of(patterns)
         )
+        yield from decoded if limit_hint is None else islice(decoded, limit_hint)
 
 
 class RDF3XEngine(Engine):

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
 from collections import defaultdict
+from itertools import islice
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.baselines.join import (
@@ -120,13 +121,15 @@ class TripleBitBGPSolver(BGPSolver):
         self,
         patterns: Sequence[TriplePattern],
         cheap_filters: Sequence[expr.Expression] = (),
+        limit_hint: Optional[int] = None,
     ) -> Iterable[Binding]:
         id_bindings = scan_join_bgp(
             patterns, self.store.dictionary, self.index.scan, self.index.estimate
         )
-        yield from decode_bindings(
+        decoded = decode_bindings(
             id_bindings, self.store.dictionary, predicate_variables_of(patterns)
         )
+        yield from decoded if limit_hint is None else islice(decoded, limit_hint)
 
 
 class TripleBitEngine(Engine):

@@ -34,12 +34,18 @@ class BGPSolver(abc.ABC):
         self,
         patterns: Sequence[TriplePattern],
         cheap_filters: Sequence[expr.Expression] = (),
+        limit_hint: Optional[int] = None,
     ) -> Iterable[Binding]:
         """Yield bindings (variable name → decoded RDF term) for the BGP.
 
         ``cheap_filters`` are single-variable filters the solver *may* push
         into its evaluation; the caller re-applies every filter afterwards,
         so pushing is purely an optimization.
+
+        ``limit_hint`` is the evaluator's promise that it will consume at
+        most that many bindings (it only passes one when no downstream
+        operator can drop rows): solvers may stop evaluation after that many
+        solutions instead of enumerating the full result.
         """
 
     def supports_filter_pushdown(self) -> bool:

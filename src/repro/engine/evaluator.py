@@ -5,79 +5,145 @@ basic graph pattern in its own way; everything above the BGP level — FILTER
 semantics, OPTIONAL (left outer join), UNION, joins between group parts,
 projection, DISTINCT, ORDER BY, LIMIT/OFFSET — is identical and lives here.
 
+The algebra is lazy end-to-end: :func:`evaluate_group` composes generator
+operators (hash join, hash left-outer join for OPTIONAL, lazy UNION
+concatenation, filters as stream predicates) over the solver's streaming
+``solve``, so a ``LIMIT k`` query stops pulling — and therefore stops
+*matching* — after ``k`` solutions instead of trimming a materialized list.
+A ``limit_hint`` is additionally threaded into the solver whenever no
+downstream operator can drop rows, letting the matcher terminate candidate
+region exploration early.
+
+Join attributes are derived from the query structure (the variables each
+subtree can bind), not by sweeping the binding lists, so the operators never
+scan their inputs just to discover the schema.
+
 Filters are split per Section 5.1: *inexpensive* single-variable filters are
 offered to the BGP solver for push-down into pattern matching; *expensive*
-filters (multi-variable joins, regular expressions, BOUND) are applied after
-the group's solutions are assembled.  All filters are re-checked at the end,
-so push-down is purely an optimization and cannot change the semantics.
+filters (multi-variable joins, regular expressions, BOUND) are applied as
+stream predicates after the group's joins.  All filters are re-checked, so
+push-down is purely an optimization and cannot change the semantics.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+import itertools
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.engine.base import BGPSolver
 from repro.sparql import expressions as expr
-from repro.sparql.ast import GraphPattern, SelectQuery, UnionPattern
+from repro.sparql.ast import GraphPattern, SelectQuery
 from repro.sparql.results import Binding, ResultSet
 
 
 def evaluate_query(query: SelectQuery, solver: BGPSolver) -> ResultSet:
     """Evaluate a SELECT query with the given BGP solver."""
-    solutions = evaluate_group(query.where, solver)
     projection = [str(v) for v in query.projection()]
-    result = ResultSet(projection)
-    for binding in solutions:
-        result.append({var: binding.get(var) for var in projection})
+    limit_hint: Optional[int] = None
+    if query.limit is not None and not query.order_by and not query.distinct:
+        # Row-preserving pipeline above the group: the group needs to produce
+        # at most offset+limit rows.  DISTINCT collapses rows and ORDER BY
+        # needs the full result, so neither admits a hint.
+        limit_hint = query.limit + query.offset
+
+    solutions = evaluate_group(query.where, solver, limit_hint)
+    rows: Iterator[Binding] = (
+        {var: binding.get(var) for var in projection} for binding in solutions
+    )
     if query.distinct:
-        result = result.distinct()
+        rows = _distinct_stream(rows, projection)
     if query.order_by:
+        result = ResultSet(projection, rows)
         result = result.order_by([(str(v), asc) for v, asc in query.order_by])
+        if query.limit is not None or query.offset:
+            result = result.slice(query.limit, query.offset)
+        return result
     if query.limit is not None or query.offset:
-        result = result.slice(query.limit, query.offset)
-    return result
+        end = None if query.limit is None else query.offset + query.limit
+        rows = itertools.islice(rows, query.offset, end)
+    return ResultSet(projection, rows)
 
 
-def evaluate_group(group: GraphPattern, solver: BGPSolver) -> List[Binding]:
-    """Evaluate a group graph pattern into a list of bindings."""
+def evaluate_group(
+    group: GraphPattern,
+    solver: BGPSolver,
+    limit_hint: Optional[int] = None,
+) -> Iterator[Binding]:
+    """Stream the solutions of a group graph pattern.
+
+    ``limit_hint`` bounds how many solutions the caller will consume; it is
+    forwarded to the BGP solver only when the group has no filters and no
+    UNION blocks (OPTIONAL never drops left rows, so it is hint-safe).
+    """
     cheap, expensive = expr.split_filters(group.filters)
 
-    # 1. Basic graph pattern.
+    # 1. Basic graph pattern (streamed straight from the solver).
     if group.triples:
-        solutions: List[Binding] = list(solver.solve(group.triples, cheap))
+        bgp_hint = limit_hint if not (group.filters or group.unions) else None
+        stream = iter(solver.solve(group.triples, cheap, limit_hint=bgp_hint))
     else:
-        solutions = [{}]
+        stream = iter(({},))
+    bound = _bindable_variables_of_triples(group)
 
-    # 2. UNION blocks join with the rest of the group.
+    # 2. UNION blocks join with the rest of the group (alternatives stream
+    #    lazily, one after the other).
     for union in group.unions:
-        union_solutions: List[Binding] = []
+        union_bound: Set[str] = set()
         for alternative in union.alternatives:
-            union_solutions.extend(evaluate_group(alternative, solver))
-        solutions = _join(solutions, union_solutions)
+            union_bound |= _bindable_variables(alternative)
+        union_stream = itertools.chain.from_iterable(
+            evaluate_group(alternative, solver) for alternative in union.alternatives
+        )
+        stream = _hash_join(stream, union_stream, sorted(bound & union_bound))
+        bound |= union_bound
 
     # 3. OPTIONAL blocks: left outer join in declaration order.
     for optional in group.optionals:
-        optional_solutions = evaluate_group(optional, solver)
-        solutions = _left_outer_join(solutions, optional_solutions, optional.variables())
+        optional_bound = _bindable_variables(optional)
+        stream = _hash_left_outer_join(
+            stream,
+            evaluate_group(optional, solver),
+            sorted(bound & optional_bound),
+            sorted(optional_bound),
+        )
+        bound |= optional_bound
 
     # 4. FILTER conditions (all of them, cheap ones included for safety).
-    for condition in list(cheap) + list(expensive):
-        solutions = [s for s in solutions if expr.evaluate_filter(condition, s)]
-    return solutions
+    for condition in itertools.chain(cheap, expensive):
+        stream = _filter_stream(stream, condition)
+
+    if limit_hint is not None:
+        stream = itertools.islice(stream, limit_hint)
+    return stream
+
+
+# ------------------------------------------------------------ join attributes
+def _bindable_variables_of_triples(group: GraphPattern) -> Set[str]:
+    """Variables the group's own triple patterns bind."""
+    result: Set[str] = set()
+    for pattern in group.triples:
+        result.update(str(v) for v in pattern.variables())
+    return result
+
+
+def _bindable_variables(group: GraphPattern) -> Set[str]:
+    """Variables a group's solutions can carry as keys (recursively).
+
+    Unlike :meth:`GraphPattern.variables` this excludes filter-only
+    variables, which never appear in a solution — including them would put
+    permanent ``None`` components into every hash key and degrade the joins
+    to wildcard scans.
+    """
+    result = _bindable_variables_of_triples(group)
+    for union in group.unions:
+        for alternative in union.alternatives:
+            result |= _bindable_variables(alternative)
+    for optional in group.optionals:
+        result |= _bindable_variables(optional)
+    return result
 
 
 # ----------------------------------------------------------------------- joins
-def _shared_variables(left: List[Binding], right: List[Binding]) -> List[str]:
-    """Variables appearing on both sides (the join attributes)."""
-    left_vars: Set[str] = set()
-    for binding in left:
-        left_vars.update(binding.keys())
-    right_vars: Set[str] = set()
-    for binding in right:
-        right_vars.update(binding.keys())
-    return sorted(left_vars & right_vars)
-
-
 def _compatible(left: Binding, right: Binding, shared: Sequence[str]) -> bool:
     """SPARQL compatibility: shared variables must agree (None is a wildcard)."""
     for var in shared:
@@ -97,27 +163,15 @@ def _merge(left: Binding, right: Binding) -> Binding:
     return merged
 
 
-def _join(left: List[Binding], right: List[Binding]) -> List[Binding]:
-    """Inner join of two binding lists (hash join on shared variables)."""
-    if not left:
-        return []
-    if not right:
-        return []
-    shared = _shared_variables(left, right)
-    if not shared:
-        return [_merge(l, r) for l in left for r in right]
+def _build_index(
+    rows: Iterable[Binding], shared: Sequence[str]
+) -> Dict[Tuple, List[Binding]]:
+    """Materialize the build side of a hash join, keyed on the join variables."""
     index: Dict[Tuple, List[Binding]] = {}
-    for binding in right:
+    for binding in rows:
         key = tuple(binding.get(var) for var in shared)
         index.setdefault(key, []).append(binding)
-    joined: List[Binding] = []
-    for binding in left:
-        key = tuple(binding.get(var) for var in shared)
-        # Exact-match probe plus wildcard probes for None entries.
-        for candidate in _probe(index, key):
-            if _compatible(binding, candidate, shared):
-                joined.append(_merge(binding, candidate))
-    return joined
+    return index
 
 
 def _probe(index: Dict[Tuple, List[Binding]], key: Tuple) -> Iterable[Binding]:
@@ -133,32 +187,74 @@ def _probe(index: Dict[Tuple, List[Binding]], key: Tuple) -> Iterable[Binding]:
             yield from bucket
 
 
-def _left_outer_join(
-    left: List[Binding],
-    right: List[Binding],
-    right_variables: Iterable,
-) -> List[Binding]:
-    """SPARQL OPTIONAL: keep left rows with no compatible right row (as nulls)."""
-    right_vars = [str(v) for v in right_variables]
-    if not left:
-        return []
-    shared = _shared_variables(left, right) if right else []
-    index: Dict[Tuple, List[Binding]] = {}
-    for binding in right:
-        key = tuple(binding.get(var) for var in shared)
-        index.setdefault(key, []).append(binding)
-    result: List[Binding] = []
+def _hash_join(
+    left: Iterator[Binding],
+    right: Iterable[Binding],
+    shared: Sequence[str],
+) -> Iterator[Binding]:
+    """Inner hash join: materialize ``right`` as the build side, stream ``left``.
+
+    ``shared`` are the join attributes, derived from the query structure by
+    the caller (no sweep over the bindings themselves).
+    """
+    if not shared:
+        right_rows = list(right)
+        if not right_rows:
+            return
+        for left_binding in left:
+            for right_binding in right_rows:
+                yield _merge(left_binding, right_binding)
+        return
+    index = _build_index(right, shared)
+    if not index:
+        return
     for binding in left:
         key = tuple(binding.get(var) for var in shared)
+        for candidate in _probe(index, key):
+            if _compatible(binding, candidate, shared):
+                yield _merge(binding, candidate)
+
+
+def _hash_left_outer_join(
+    left: Iterator[Binding],
+    right: Iterable[Binding],
+    shared: Sequence[str],
+    right_variables: Sequence[str],
+) -> Iterator[Binding]:
+    """SPARQL OPTIONAL: keep left rows with no compatible right row (as nulls)."""
+    index = _build_index(right, shared)
+    for binding in left:
         matched = False
-        if right:
+        if index:
+            key = tuple(binding.get(var) for var in shared)
             for candidate in _probe(index, key):
                 if _compatible(binding, candidate, shared):
-                    result.append(_merge(binding, candidate))
                     matched = True
+                    yield _merge(binding, candidate)
         if not matched:
             extended = dict(binding)
-            for var in right_vars:
+            for var in right_variables:
                 extended.setdefault(var, None)
-            result.append(extended)
-    return result
+            yield extended
+
+
+# --------------------------------------------------------------------- streams
+def _filter_stream(
+    stream: Iterator[Binding], condition: expr.Expression
+) -> Iterator[Binding]:
+    """Apply one FILTER condition as a stream predicate."""
+    for binding in stream:
+        if expr.evaluate_filter(condition, binding):
+            yield binding
+
+
+def _distinct_stream(
+    rows: Iterator[Binding], variables: Sequence[str]
+) -> Iterator[Binding]:
+    """Streaming DISTINCT, preserving first-seen order."""
+    seen: Set[Tuple] = set()
+    for row in rows:
+        key = tuple(row.get(var) for var in variables)
+        if key not in seen:
+            seen.add(key)
+            yield row

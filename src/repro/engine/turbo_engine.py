@@ -10,45 +10,92 @@ systems are thin subclasses:
 * :class:`TurboHomPPEngine` — type-aware transformation plus +INT / -NLF /
   -DEG / +REUSE (the system of Tables 3–7).
 
-Besides plain vertex matching, the BGP solver takes care of the pieces that
-the labeled-graph view leaves open:
+Query answering follows a compile-once / stream-everywhere split:
 
-* connected components of the query graph are matched independently and
-  combined with a cross product (e.g. BSBM-style queries whose parts are
-  linked only through FILTER),
-* predicate variables are bound post-hoc by enumerating the edge labels
-  between matched vertices (the ``Me`` mapping of Definition 2),
-* ``?x rdf:type ?t`` patterns on the type-aware graph are answered from the
-  matched vertex's label set,
-* inexpensive single-variable FILTERs are pushed into candidate-region
-  exploration as vertex predicates.
+* **compile** — :meth:`TurboBGPSolver.solve` looks the BGP up in the
+  engine-held :class:`~repro.engine.plan_cache.PlanCache` (keyed on a
+  canonical BGP/filter fingerprint) and only on a miss runs
+  :func:`~repro.engine.plan.compile_query`, which performs the query
+  transformation, component split, start-vertex selection, query-tree
+  construction, filter-requirement derivation and push-down compilation;
+* **stream** — execution is a chain of generators: the matcher streams raw
+  vertex mappings, decoding, predicate-variable expansion (the ``Me``
+  mapping of Definition 2), ``rdf:type ?t`` type-variable expansion and the
+  cross product between connected components are all lazy decorators on that
+  stream, and a ``limit_hint`` from the evaluator terminates matching early
+  instead of trimming a materialized list.
+
+Predicate-variable choices travel in a typed :class:`MatchedSolution`
+wrapper internal to the solver, so algebra operators and projections only
+ever see plain variable→term bindings.
+
+Parallel execution (``workers > 1``) reuses one engine-held
+:class:`~repro.matching.parallel.ParallelMatcher`, whose persistent worker
+pool spans queries instead of being spun up per BGP.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
 from repro.engine.base import BGPSolver, Engine
+from repro.engine.plan import AlternativePlan, ComponentPlan, QueryPlan, TypeVariableBinder, compile_query
+from repro.engine.plan_cache import PlanCache, bgp_fingerprint
 from repro.graph.labeled_graph import LabeledGraph
-from repro.graph.query_graph import QueryGraph
 from repro.graph.transform import (
     GraphMapping,
-    QueryTransformResult,
     direct_transform,
-    direct_transform_query,
     type_aware_transform,
-    type_aware_transform_query,
 )
 from repro.matching.config import MatchConfig
 from repro.matching.parallel import ParallelMatcher
 from repro.matching.turbo import Solution, TurboMatcher
-from repro.rdf.namespaces import RDF
 from repro.rdf.store import TripleStore
 from repro.rdf.terms import Term
 from repro.sparql import expressions as expr
-from repro.sparql.ast import TriplePattern, Variable
+from repro.sparql.ast import TriplePattern
 from repro.sparql.results import Binding
+
+
+@dataclass
+class MatchedSolution:
+    """A decoded solution plus its pending predicate-variable choices.
+
+    The ``choices`` side channel stays inside the solver: it is consumed by
+    :meth:`TurboBGPSolver._expand_predicate_choices` before bindings are
+    yielded, so no algebra operator or projection ever sees a non-variable
+    key in a :class:`~repro.sparql.results.Binding`.
+    """
+
+    binding: Binding
+    #: For each predicate variable: its possible edge-label terms (None when
+    #: the component has no predicate variables).
+    choices: Optional[Dict[str, List[Term]]] = None
+
+
+def _merge_choices(
+    left: Optional[Dict[str, List[Term]]],
+    right: Dict[str, List[Term]],
+) -> Dict[str, List[Term]]:
+    """Combine predicate-variable choices from two query components.
+
+    A predicate variable shared by both components must label an edge in
+    each, so its candidate terms are *intersected* — overwriting would let a
+    label that only fits one component leak into the result.  Fresh dicts
+    and lists are built so cached plan/solution state is never mutated.
+    """
+    if left is None:
+        return dict(right)
+    merged = dict(left)
+    for name, terms in right.items():
+        if name in merged:
+            allowed = set(terms)
+            merged[name] = [term for term in merged[name] if term in allowed]
+        else:
+            merged[name] = terms
+    return merged
 
 
 class TurboBGPSolver(BGPSolver):
@@ -61,12 +108,22 @@ class TurboBGPSolver(BGPSolver):
         config: MatchConfig,
         type_aware: bool,
         workers: int = 1,
+        plan_cache: Optional[PlanCache] = None,
+        pool: Optional[ParallelMatcher] = None,
     ):
         self.graph = graph
         self.mapping = mapping
         self.config = config
         self.type_aware = type_aware
         self.workers = workers
+        self.plan_cache = plan_cache
+        # The sequential matcher is stateless between calls and shared by
+        # every component stream; the parallel pool (persistent worker
+        # threads) is engine-held so it spans queries.
+        self._matcher = TurboMatcher(graph, config)
+        if pool is None and workers > 1:
+            pool = ParallelMatcher(graph, config, workers=workers)
+        self._pool = pool
 
     def supports_filter_pushdown(self) -> bool:
         return True
@@ -76,216 +133,221 @@ class TurboBGPSolver(BGPSolver):
         self,
         patterns: Sequence[TriplePattern],
         cheap_filters: Sequence[expr.Expression] = (),
-    ) -> Iterable[Binding]:
-        if self.type_aware:
-            # Under the type-aware transformation rdf:type is not an edge, so
-            # a pattern with a *variable* predicate must additionally consider
-            # the interpretation "the predicate is rdf:type".  Each such
-            # pattern is expanded into its edge / type alternatives; the two
-            # interpretations are disjoint (no rdf:type edges exist in the
-            # graph), so results are concatenated without deduplication.
-            variable_predicate_indices = [
-                index
-                for index, pattern in enumerate(patterns)
-                if isinstance(pattern.predicate, Variable)
-            ]
-            if variable_predicate_indices:
-                results: List[Binding] = []
-                for choice in itertools.product(
-                    ("edge", "type"), repeat=len(variable_predicate_indices)
-                ):
-                    rewritten = list(patterns)
-                    forced: Dict[str, Term] = {}
-                    for position, interpretation in zip(variable_predicate_indices, choice):
-                        if interpretation == "type":
-                            original = patterns[position]
-                            rewritten[position] = TriplePattern(
-                                original.subject, RDF.type, original.object
-                            )
-                            forced[str(original.predicate)] = RDF.type
-                    for binding in self._solve_simple(rewritten, cheap_filters):
-                        conflict = any(
-                            binding.get(name) not in (None, value)
-                            for name, value in forced.items()
-                        )
-                        if conflict:
-                            continue
-                        extended = dict(binding)
-                        extended.update(forced)
-                        results.append(extended)
-                return results
-        return self._solve_simple(patterns, cheap_filters)
+        limit_hint: Optional[int] = None,
+    ) -> Iterator[Binding]:
+        """Stream the bindings of a basic graph pattern.
 
-    def _solve_simple(
+        ``limit_hint`` promises the caller needs at most that many bindings:
+        it is always enforced at the top of the stream, and — when the plan
+        is a single component without expansion decorators — pushed all the
+        way into the matcher so candidate regions stop being explored.
+        """
+        plan = self.plan(patterns, cheap_filters)
+        deep_limit = limit_hint if plan.supports_direct_limit() else None
+        stream = self._execute(plan, deep_limit)
+        if limit_hint is not None:
+            stream = itertools.islice(stream, limit_hint)
+        return stream
+
+    def plan(
         self,
         patterns: Sequence[TriplePattern],
         cheap_filters: Sequence[expr.Expression] = (),
-    ) -> List[Binding]:
-        transformed = self._transform(patterns)
-        query = transformed.query_graph
-        components = query.connected_components()
-        per_component: List[List[Binding]] = []
-        for component in components:
-            subquery, index_map = _extract_component(query, component)
-            predicates = self._vertex_predicates(subquery, cheap_filters)
-            # Solutions are streamed out of the matcher one at a time and
-            # decoded straight into bindings — the raw vertex mappings are
-            # never materialized as a full list.
-            bindings = [
-                self._solution_to_binding(subquery, solution)
-                for solution in self._iter_match(subquery, predicates)
-            ]
-            per_component.append(bindings)
-            if not bindings:
-                return []
-        combined = _cross_product(per_component)
-        combined = self._bind_type_variables(combined, transformed)
-        return combined
+    ) -> QueryPlan:
+        """The compiled plan for a BGP, from the cache when possible."""
+        if self.plan_cache is None:
+            return self._compile(patterns, cheap_filters)
+        key = bgp_fingerprint(patterns, cheap_filters)
+        plan = self.plan_cache.get(key)
+        if plan is None:
+            plan = self._compile(patterns, cheap_filters)
+            self.plan_cache.put(key, plan)
+        return plan
 
-    # ------------------------------------------------------------- internals
-    def _transform(self, patterns: Sequence[TriplePattern]) -> QueryTransformResult:
-        if self.type_aware:
-            return type_aware_transform_query(patterns, self.mapping)
-        return direct_transform_query(patterns, self.mapping)
-
-    def _iter_match(self, query: QueryGraph, predicates) -> Iterator[Solution]:
-        if self.workers > 1 and query.vertex_count() > 1:
-            matcher = ParallelMatcher(self.graph, self.config, workers=self.workers)
-            yield from matcher.iter_match(query, vertex_predicates=predicates)
-            return
-        matcher = TurboMatcher(self.graph, self.config)
-        yield from matcher.iter_match(query, vertex_predicates=predicates)
-
-    def _vertex_predicates(
+    def _compile(
         self,
-        query: QueryGraph,
+        patterns: Sequence[TriplePattern],
         cheap_filters: Sequence[expr.Expression],
-    ) -> Dict[int, Callable[[int], bool]]:
-        """Push single-variable filters down to candidate generation."""
-        predicates: Dict[int, Callable[[int], bool]] = {}
-        if not cheap_filters:
-            return predicates
-        by_variable: Dict[str, List[expr.Expression]] = {}
-        for condition in cheap_filters:
-            variables = set(condition.variables())
-            if len(variables) != 1:
-                continue
-            by_variable.setdefault(next(iter(variables)), []).append(condition)
-        for vertex in query.vertices:
-            if not vertex.is_variable or vertex.name not in by_variable:
-                continue
-            conditions = by_variable[vertex.name]
-            mapping = self.mapping
-            name = vertex.name
+    ) -> QueryPlan:
+        return compile_query(
+            patterns, cheap_filters, self.graph, self.mapping, self.config, self.type_aware
+        )
 
-            def predicate(data_vertex: int, _conditions=conditions, _name=name) -> bool:
-                term = mapping.term_for_vertex(data_vertex)
-                binding = {_name: term}
-                return all(expr.evaluate_filter(c, binding) for c in _conditions)
+    # -------------------------------------------------------------- execution
+    def _execute(self, plan: QueryPlan, deep_limit: Optional[int]) -> Iterator[Binding]:
+        """Stream the plan's alternatives (lazy concatenation)."""
+        for alternative in plan.alternatives:
+            stream = self._stream_components(alternative, deep_limit)
+            bindings = self._expand_predicate_choices(stream)
+            if alternative.type_binders:
+                bindings = self._expand_type_variables(bindings, alternative.type_binders)
+            if alternative.forced:
+                bindings = self._apply_forced(bindings, alternative.forced)
+            yield from bindings
 
-            predicates[vertex.index] = predicate
-        return predicates
+    def _stream_components(
+        self, alternative: AlternativePlan, deep_limit: Optional[int]
+    ) -> Iterator[MatchedSolution]:
+        """Lazy cross product of the alternative's connected components.
 
-    def _solution_to_binding(self, query: QueryGraph, solution: Solution) -> Binding:
+        The first component streams; the others are materialized once (they
+        must be re-iterated per outer solution) and checked for emptiness
+        before the outer stream is ever pulled, so an empty component costs
+        nothing on the expensive side.
+        """
+        components = alternative.components
+        if not components:
+            yield MatchedSolution({})
+            return
+        if len(components) == 1:
+            yield from self._stream_component(components[0], deep_limit)
+            return
+        rest: List[List[MatchedSolution]] = []
+        for component in components[1:]:
+            materialized = list(self._stream_component(component, None))
+            if not materialized:
+                return
+            rest.append(materialized)
+        for first in self._stream_component(components[0], None):
+            for parts in itertools.product(*rest):
+                binding = dict(first.binding)
+                choices = dict(first.choices) if first.choices else None
+                for part in parts:
+                    binding.update(part.binding)
+                    if part.choices:
+                        choices = _merge_choices(choices, part.choices)
+                yield MatchedSolution(binding, choices)
+
+    def _stream_component(
+        self, component: ComponentPlan, deep_limit: Optional[int]
+    ) -> Iterator[MatchedSolution]:
+        """Stream one component's solutions straight out of the matcher."""
+        query = component.query
+        if self._pool is not None and query.vertex_count() > 1:
+            solutions: Iterable[Solution] = self._pool.iter_match(
+                query,
+                vertex_predicates=component.pushdown,
+                max_results=deep_limit,
+                prepared=component.prepared,
+            )
+        else:
+            solutions = self._matcher.iter_match(
+                query,
+                vertex_predicates=component.pushdown,
+                max_results=deep_limit,
+                prepared=component.prepared,
+            )
+        for solution in solutions:
+            yield self._decode_solution(component, solution)
+
+    # -------------------------------------------------------------- decoding
+    def _decode_solution(self, component: ComponentPlan, solution: Solution) -> MatchedSolution:
         """Decode a vertex mapping into variable bindings.
 
         Predicate variables are enumerated lazily afterwards; here we record
-        the matched endpoints so :meth:`_expand_predicate_variables` can bind
-        them.
+        the allowed edge labels between the matched endpoints so
+        :meth:`_expand_predicate_choices` can bind them.
         """
         binding: Binding = {}
-        for vertex in query.vertices:
+        for vertex in component.query.vertices:
             if vertex.is_variable:
                 binding[vertex.name] = self.mapping.term_for_vertex(solution[vertex.index])
-        predicate_bindings = self._predicate_variable_bindings(query, solution)
-        if predicate_bindings is not None:
-            binding["__predicate_choices__"] = predicate_bindings  # type: ignore[assignment]
-        return binding
-
-    def _predicate_variable_bindings(
-        self, query: QueryGraph, solution: Solution
-    ) -> Optional[Dict[str, List[Term]]]:
-        """Possible bindings for each predicate variable of the component."""
-        names = query.predicate_variables()
-        if not names:
-            return None
+        if not component.predicate_variable_edges:
+            return MatchedSolution(binding)
         choices: Dict[str, List[Term]] = {}
-        for name in names:
-            allowed: Optional[Set[int]] = None
-            for edge in query.edges:
-                if edge.predicate_variable != name:
-                    continue
+        for name, endpoints in component.predicate_variable_edges.items():
+            allowed: Optional[set] = None
+            for source, target in endpoints:
                 labels = set(
-                    self.graph.edge_labels_between(solution[edge.source], solution[edge.target])
+                    self.graph.edge_labels_between(solution[source], solution[target])
                 )
                 allowed = labels if allowed is None else (allowed & labels)
-            terms = sorted(
+            choices[name] = sorted(
                 (self.mapping.term_for_edge_label(label) for label in (allowed or set())),
                 key=str,
             )
-            choices[name] = terms
-        return choices
+        return MatchedSolution(binding, choices)
 
-    def _bind_type_variables(
-        self,
-        bindings: List[Binding],
-        transformed: QueryTransformResult,
-    ) -> List[Binding]:
-        """Expand predicate-variable choices and ``rdf:type ?t`` patterns."""
-        expanded: List[Binding] = []
-        for binding in bindings:
-            choices: Dict[str, List[Term]] = binding.pop("__predicate_choices__", None)  # type: ignore[arg-type]
-            partials = [binding]
-            if choices:
-                partials = []
-                names = sorted(choices)
-                for combo in itertools.product(*(choices[name] for name in names)):
-                    extended = dict(binding)
-                    extended.update(dict(zip(names, combo)))
-                    partials.append(extended)
-                if not all(choices.values()):
-                    partials = []
-            for partial in partials:
-                expanded.extend(self._expand_type_variables(partial, transformed))
-        return expanded
+    # ------------------------------------------------------------- decorators
+    @staticmethod
+    def _expand_predicate_choices(stream: Iterator[MatchedSolution]) -> Iterator[Binding]:
+        """Expand pending predicate-variable choices into plain bindings.
+
+        A choice variable that is already bound in the solution (e.g. the
+        same name also matched a query vertex) constrains the expansion to
+        that value instead of being overwritten.
+        """
+        for matched in stream:
+            choices = matched.choices
+            if not choices:
+                yield matched.binding
+                continue
+            binding = matched.binding
+            names = sorted(choices)
+            pools = []
+            for name in names:
+                existing = binding.get(name)
+                terms = choices[name]
+                if existing is not None:
+                    terms = [term for term in terms if term == existing]
+                pools.append(terms)
+            for combo in itertools.product(*pools):
+                extended = dict(binding)
+                extended.update(zip(names, combo))
+                yield extended
 
     def _expand_type_variables(
         self,
-        binding: Binding,
-        transformed: QueryTransformResult,
-    ) -> List[Binding]:
+        stream: Iterator[Binding],
+        binders: Sequence[TypeVariableBinder],
+    ) -> Iterator[Binding]:
         """Bind type variables from vertex label sets (type-aware graphs only)."""
-        if not transformed.type_variable_patterns:
-            return [binding]
-        results = [binding]
-        for subject_name, type_variable in transformed.type_variable_patterns:
-            vertex_index = transformed.query_graph.vertex_index(subject_name)
-            if vertex_index is None:
-                return []
-            subject_vertex = transformed.query_graph.vertices[vertex_index]
-            next_results: List[Binding] = []
-            for current in results:
-                if subject_vertex.is_variable:
-                    term = current.get(subject_name)
-                    node_id = self.mapping.dictionary.lookup_node(term) if term is not None else None
-                    data_vertex = (
-                        self.mapping.vertex_for_node(node_id) if node_id is not None else -1
-                    )
-                else:
-                    data_vertex = subject_vertex.vertex_id if subject_vertex.vertex_id is not None else -1
-                if data_vertex is None or data_vertex < 0:
-                    continue
-                labels = self.graph.vertex_labels(data_vertex)
-                existing = current.get(type_variable)
-                for label in sorted(labels):
-                    type_term = self.mapping.term_for_label(label)
-                    if existing is not None and existing != type_term:
+        for binding in stream:
+            results = [binding]
+            for binder in binders:
+                next_results: List[Binding] = []
+                for current in results:
+                    data_vertex = self._binder_data_vertex(binder, current)
+                    if data_vertex is None or data_vertex < 0:
                         continue
-                    extended = dict(current)
-                    extended[type_variable] = type_term
-                    next_results.append(extended)
-            results = next_results
-        return results
+                    labels = self.graph.vertex_labels(data_vertex)
+                    existing = current.get(binder.type_variable)
+                    for label in sorted(labels):
+                        type_term = self.mapping.term_for_label(label)
+                        if existing is not None and existing != type_term:
+                            continue
+                        extended = dict(current)
+                        extended[binder.type_variable] = type_term
+                        next_results.append(extended)
+                results = next_results
+            yield from results
+
+    def _binder_data_vertex(
+        self, binder: TypeVariableBinder, binding: Binding
+    ) -> Optional[int]:
+        """The data vertex whose label set answers a type-variable binder."""
+        if binder.subject_is_variable:
+            term = binding.get(binder.subject_name)
+            if term is None:
+                return None
+            node_id = self.mapping.dictionary.lookup_node(term)
+            if node_id is None:
+                return None
+            return self.mapping.vertex_for_node(node_id)
+        return binder.subject_vertex_id
+
+    @staticmethod
+    def _apply_forced(stream: Iterator[Binding], forced: Dict[str, Term]) -> Iterator[Binding]:
+        """Bind predicate variables forced to rdf:type, dropping conflicts."""
+        for binding in stream:
+            conflict = any(
+                binding.get(name) not in (None, value) for name, value in forced.items()
+            )
+            if conflict:
+                continue
+            extended = dict(binding)
+            extended.update(forced)
+            yield extended
 
 
 # --------------------------------------------------------------------- engine
@@ -300,6 +362,7 @@ class TurboEngine(Engine):
         type_aware: bool = True,
         config: Optional[MatchConfig] = None,
         workers: int = 1,
+        plan_cache_size: int = 128,
     ):
         super().__init__()
         self.type_aware = type_aware
@@ -307,6 +370,13 @@ class TurboEngine(Engine):
         self.workers = workers
         self.graph: Optional[LabeledGraph] = None
         self.mapping: Optional[GraphMapping] = None
+        #: Compiled-plan cache shared by every query of this engine
+        #: (``plan_cache_size=0`` disables caching).
+        self.plan_cache: Optional[PlanCache] = (
+            PlanCache(plan_cache_size) if plan_cache_size else None
+        )
+        self._solver: Optional[TurboBGPSolver] = None
+        self._pool: Optional[ParallelMatcher] = None
 
     def load(self, store: TripleStore) -> None:
         """Transform the store into the engine's labeled graph."""
@@ -315,13 +385,37 @@ class TurboEngine(Engine):
             self.graph, self.mapping = type_aware_transform(store)
         else:
             self.graph, self.mapping = direct_transform(store)
+        # New graph: compiled plans and the worker pool are stale.
+        if self.plan_cache is not None:
+            self.plan_cache.clear()
+        self.close()
+        self._solver = None
 
     def bgp_solver(self) -> TurboBGPSolver:
         if self.graph is None or self.mapping is None:
             raise RuntimeError(f"{self.name}: load() must be called before querying")
-        return TurboBGPSolver(
-            self.graph, self.mapping, self.config, self.type_aware, self.workers
-        )
+        if self._solver is None:
+            if self.workers > 1 and self._pool is None:
+                self._pool = ParallelMatcher(self.graph, self.config, workers=self.workers)
+            self._solver = TurboBGPSolver(
+                self.graph,
+                self.mapping,
+                self.config,
+                self.type_aware,
+                self.workers,
+                plan_cache=self.plan_cache,
+                pool=self._pool,
+            )
+        # Keep the memoized solver honest if the engine's cache was swapped
+        # or disabled after the first query.
+        self._solver.plan_cache = self.plan_cache
+        return self._solver
+
+    def close(self) -> None:
+        """Shut down the engine-held parallel worker pool (if any)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
 
 
 class TurboHomEngine(TurboEngine):
@@ -348,55 +442,3 @@ class TurboHomPPEngine(TurboEngine):
             config=config if config is not None else MatchConfig.turbo_hom_pp(),
             workers=workers,
         )
-
-
-# -------------------------------------------------------------------- helpers
-def _extract_component(
-    query: QueryGraph, component: List[int]
-) -> Tuple[QueryGraph, Dict[int, int]]:
-    """Copy one connected component into a standalone query graph."""
-    if len(component) == query.vertex_count():
-        return query, {v: v for v in component}
-    subquery = QueryGraph()
-    index_map: Dict[int, int] = {}
-    for old_index in component:
-        vertex = query.vertices[old_index]
-        new_index = subquery.add_vertex(
-            vertex.name, vertex.labels, vertex.vertex_id, vertex.is_variable
-        )
-        index_map[old_index] = new_index
-    in_component = set(component)
-    for edge in query.edges:
-        if edge.source in in_component and edge.target in in_component:
-            subquery.add_edge(
-                index_map[edge.source],
-                index_map[edge.target],
-                edge.label,
-                edge.predicate_variable,
-            )
-    return subquery, index_map
-
-
-def _cross_product(per_component: List[List[Binding]]) -> List[Binding]:
-    """Cartesian product of per-component binding lists."""
-    if not per_component:
-        return [{}]
-    result = per_component[0]
-    for bindings in per_component[1:]:
-        merged: List[Binding] = []
-        for left in result:
-            for right in bindings:
-                combined = dict(left)
-                # Merge predicate-choice side channels from both components.
-                left_choices = combined.get("__predicate_choices__")
-                right_choices = right.get("__predicate_choices__")
-                combined.update(right)
-                if left_choices and right_choices:
-                    merged_choices = dict(left_choices)
-                    merged_choices.update(right_choices)
-                    combined["__predicate_choices__"] = merged_choices  # type: ignore[assignment]
-                elif left_choices:
-                    combined["__predicate_choices__"] = left_choices  # type: ignore[assignment]
-                merged.append(combined)
-        result = merged
-    return result

@@ -13,13 +13,22 @@ The package implements the paper's algorithm family:
 """
 
 from repro.matching.config import MatchConfig
-from repro.matching.turbo import TurboMatcher, turbo_iso, turbo_hom, turbo_hom_pp
+from repro.matching.turbo import (
+    PreparedQuery,
+    TurboMatcher,
+    prepare_query,
+    turbo_hom,
+    turbo_hom_pp,
+    turbo_iso,
+)
 from repro.matching.generic import GenericMatcher
 from repro.matching.parallel import ParallelMatcher, ParallelStats
 
 __all__ = [
     "MatchConfig",
+    "PreparedQuery",
     "TurboMatcher",
+    "prepare_query",
     "turbo_iso",
     "turbo_hom",
     "turbo_hom_pp",

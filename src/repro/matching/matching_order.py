@@ -7,14 +7,38 @@ the concatenation of the paths' vertices with duplicates removed (the root
 first), which reproduces the paper's Figure 2 example: for ``CR(v0)`` the
 ordered path list is ``[u0.u3, u0.u1, u0.u2]`` giving the matching order
 ``<u0, u3, u1, u2>``.
+
+With the ``+REUSE`` optimization the order computed for the first candidate
+region is reused for every other region.  :class:`OrderCache` is the carrier
+for that reuse: callers hand the same cache to every
+:func:`determine_matching_order` call, and — because the query plan layer
+stores the cache inside a compiled :class:`~repro.engine.plan.QueryPlan` —
+the order also survives across repeated executions of the same query, so a
+warm plan-cache run never recomputes it.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.matching.candidate_region import CandidateRegion
 from repro.matching.query_tree import QueryTree
+
+
+class OrderCache:
+    """Mutable holder for a matching order shared across candidate regions.
+
+    The first :func:`determine_matching_order` call fills it; later calls
+    (including calls from other worker threads or later executions of a
+    cached plan) return the stored order without rescoring paths.  Filling
+    the slot is idempotent, so the benign race between parallel workers is
+    harmless.
+    """
+
+    __slots__ = ("order",)
+
+    def __init__(self, order: Optional[List[int]] = None):
+        self.order = order
 
 
 def path_cardinality(region: CandidateRegion, path: List[int]) -> int:
@@ -22,8 +46,19 @@ def path_cardinality(region: CandidateRegion, path: List[int]) -> int:
     return sum(region.count(vertex) for vertex in path[1:])
 
 
-def determine_matching_order(tree: QueryTree, region: CandidateRegion) -> List[int]:
-    """Compute the matching order for one candidate region."""
+def determine_matching_order(
+    tree: QueryTree,
+    region: CandidateRegion,
+    cache: Optional[OrderCache] = None,
+) -> List[int]:
+    """Compute the matching order for one candidate region.
+
+    When ``cache`` is given and already holds an order (``+REUSE``), that
+    precompiled order is returned without rescoring; otherwise the computed
+    order is stored into the cache for subsequent regions and executions.
+    """
+    if cache is not None and cache.order is not None:
+        return cache.order
     scored_paths: List[Tuple[int, int, List[int]]] = []
     for index, path in enumerate(tree.paths()):
         scored_paths.append((path_cardinality(region, path), index, path))
@@ -36,6 +71,8 @@ def determine_matching_order(tree: QueryTree, region: CandidateRegion) -> List[i
             if vertex not in seen:
                 seen.add(vertex)
                 order.append(vertex)
+    if cache is not None:
+        cache.order = order
     return order
 
 

@@ -5,19 +5,24 @@ independently — candidate-region exploration, matching-order determination
 and subgraph search (Algorithm 1, lines 9–15).  The paper distributes small
 dynamic chunks of starting vertices over NUMA-pinned threads.
 
-This reproduction distributes the same dynamic chunks over a thread pool.
-Because CPython's GIL serializes pure-Python bytecode, wall-clock speedup is
-not representative of the paper's NUMA hardware; the
-:class:`ParallelStats` therefore also reports the *work-partition speedup*
-``total work / max per-worker work`` (work = candidate-region vertices
-explored plus search recursions), which is the load-balance quantity
-Figure 16 actually demonstrates.  Both metrics are reported by the Figure 16
-benchmark.
+This reproduction distributes the same dynamic chunks over a **persistent**
+thread pool: the worker threads are started lazily on the first match and
+then reused by every later query (a :class:`_MatchJob` per call), so serving
+many short queries does not pay thread spin-up per query.  Because CPython's
+GIL serializes pure-Python bytecode, wall-clock speedup is not representative
+of the paper's NUMA hardware; the :class:`ParallelStats` therefore also
+reports the *work-partition speedup* ``total work / max per-worker work``
+(work = candidate-region vertices explored plus search recursions), which is
+the load-balance quantity Figure 16 actually demonstrates.  Both metrics are
+reported by the Figure 16 benchmark.
 
 The primitive API is :meth:`ParallelMatcher.iter_match`: workers push their
 per-chunk solution batches onto a queue and the generator drains it, so the
 consumer streams solutions while workers are still searching, without a
-full result list ever being materialized by the matcher itself.
+full result list ever being materialized by the matcher itself.  A
+``max_results`` limit (threaded down from the engine's ``limit_hint``) or an
+abandoned generator sets the job's stop event, so workers cease searching
+instead of enumerating embeddings nobody will read.
 """
 
 from __future__ import annotations
@@ -25,22 +30,17 @@ from __future__ import annotations
 import queue
 import threading
 import time
+import weakref
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.graph.labeled_graph import LabeledGraph
 from repro.graph.query_graph import QueryGraph
-from repro.matching.candidate_region import (
-    VertexPredicate,
-    explore_candidate_region,
-    query_requirements,
-)
+from repro.matching.candidate_region import VertexPredicate, explore_candidate_region
 from repro.matching.config import MatchConfig
 from repro.matching.matching_order import determine_matching_order
-from repro.matching.query_tree import write_query_tree
-from repro.matching.start_vertex import choose_start_vertex
 from repro.matching.subgraph_search import SearchStatistics, subgraph_search_iter
-from repro.matching.turbo import Solution, TurboMatcher
+from repro.matching.turbo import PreparedQuery, Solution, TurboMatcher, prepare_query
 
 
 @dataclass
@@ -100,8 +100,173 @@ class ParallelStats:
 _SOLUTION_BATCH_SIZE = 256
 
 
+class _MatchJob:
+    """One query's worth of work, shared by every pool worker.
+
+    Carries everything a worker needs (so the long-lived worker threads hold
+    no reference to the :class:`ParallelMatcher` and cannot keep it alive),
+    plus the consumer-facing queues, the stop event and the shared counters.
+    """
+
+    def __init__(
+        self,
+        graph: LabeledGraph,
+        config: MatchConfig,
+        query: QueryGraph,
+        prepared: PreparedQuery,
+        predicates: Dict[int, VertexPredicate],
+        chunk_size: int,
+        expected_workers: int,
+    ):
+        self.graph = graph
+        self.config = config
+        self.query = query
+        self.prepared = prepared
+        self.predicates = predicates
+        self.root_predicate = predicates.get(prepared.start_vertex)
+        self.expected_workers = expected_workers
+
+        # Dynamic chunking: workers repeatedly pop small chunks of starting
+        # vertices, which evens out skewed candidate-region sizes.
+        self.chunks: "queue.Queue[Sequence[int]]" = queue.Queue()
+        candidates = prepared.start_candidates
+        for begin in range(0, len(candidates), chunk_size):
+            self.chunks.put(candidates[begin:begin + chunk_size])
+
+        #: Bounded handoff of solution batches (backpressure: a slow consumer
+        #: suspends the workers instead of accumulating the full result set).
+        #: ``None`` entries are wake tokens a finishing worker leaves so the
+        #: consumer re-checks job completion promptly.
+        self.output: "queue.Queue[Optional[List[Solution]]]" = queue.Queue(
+            maxsize=max(2 * expected_workers, 8)
+        )
+        #: Set when the consumer stops early (result limit reached or the
+        #: generator abandoned): workers finish their current batch and move
+        #: on to the next job instead of searching the rest of the queue.
+        self.stop = threading.Event()
+        #: Work counters and errors are reported through shared state (under
+        #: a lock) rather than queue markers, so delivering them can never
+        #: block on the bounded queue.
+        self.lock = threading.Lock()
+        self.per_worker_work = [0] * expected_workers
+        self.per_chunk_work: List[int] = []
+        self.errors: List[BaseException] = []
+        self.finished_workers = 0
+        #: Set by the last worker to leave the job; the consumer waits on it
+        #: before aggregating statistics (the pool equivalent of join()).
+        self.done = threading.Event()
+
+    # ------------------------------------------------------------- worker side
+    def emit(self, batch: List[Solution]) -> bool:
+        """Stop-aware bounded put; False once the consumer stopped."""
+        while not self.stop.is_set():
+            try:
+                self.output.put(batch, timeout=0.05)
+                return True
+            except queue.Full:
+                continue
+        return False
+
+    def run(self, worker_index: int) -> None:
+        """Drain start-vertex chunks until the job is exhausted or stopped."""
+        local_work = 0
+        local_chunk_work: List[int] = []
+        order_cache = self.prepared.order_cache if self.config.reuse_matching_order else None
+        tree = self.prepared.tree
+        try:
+            while not self.stop.is_set():
+                try:
+                    chunk = self.chunks.get_nowait()
+                except queue.Empty:
+                    break
+                chunk_work_before = local_work
+                for start_data_vertex in chunk:
+                    # Per-region stop check: cancellation takes effect
+                    # between regions (and, below, between batches).
+                    if self.stop.is_set():
+                        break
+                    if self.root_predicate is not None and not self.root_predicate(
+                        start_data_vertex
+                    ):
+                        continue
+                    region = explore_candidate_region(
+                        self.graph, self.query, tree, self.config, start_data_vertex,
+                        self.predicates, self.prepared.requirements,
+                    )
+                    if region is None:
+                        continue
+                    local_work += region.size()
+                    order = determine_matching_order(tree, region, order_cache)
+                    search_stats = SearchStatistics()
+                    # Stream the region's solutions out in fixed-size
+                    # batches rather than materializing the whole region:
+                    # bounds worker memory on combinatorial regions and
+                    # lets the stop signal interrupt mid-region.
+                    batch: List[Solution] = []
+                    for solution in subgraph_search_iter(
+                        self.graph, self.query, tree, region, order, self.config,
+                        search_stats,
+                    ):
+                        batch.append(solution)
+                        if len(batch) >= _SOLUTION_BATCH_SIZE:
+                            if not self.emit(batch):
+                                batch = []
+                                break
+                            batch = []
+                    if batch:
+                        self.emit(batch)
+                    local_work += search_stats.recursions
+                local_chunk_work.append(local_work - chunk_work_before)
+        except BaseException as exc:  # noqa: BLE001 - re-raised on the consumer side
+            with self.lock:
+                self.errors.append(exc)
+        finally:
+            with self.lock:
+                self.per_worker_work[worker_index] += local_work
+                self.per_chunk_work.extend(local_chunk_work)
+                self.finished_workers += 1
+                last = self.finished_workers >= self.expected_workers
+            if last:
+                self.done.set()
+            try:
+                # Wake token so the consumer notices this worker finished
+                # without waiting out its poll timeout; dropping it when
+                # the queue is full is fine — a full queue means the
+                # consumer is active and will poll liveness soon.
+                self.output.put_nowait(None)
+            except queue.Full:
+                pass
+
+
+def _pool_worker(jobs: "queue.Queue[Optional[_MatchJob]]", worker_index: int) -> None:
+    """Long-lived pool thread: process jobs until the shutdown sentinel.
+
+    Deliberately a module-level function over the jobs queue only, so pool
+    threads never hold a reference to their :class:`ParallelMatcher` and the
+    matcher stays garbage-collectable (its finalizer shuts the pool down).
+    """
+    while True:
+        job = jobs.get()
+        if job is None:
+            return
+        job.run(worker_index)
+
+
+def _shutdown_pool(jobs: "queue.Queue[Optional[_MatchJob]]", workers: int) -> None:
+    """Ask every pool thread to exit (used by close() and the GC finalizer)."""
+    for _ in range(workers):
+        jobs.put(None)
+
+
 class ParallelMatcher:
-    """Matches a query by distributing starting vertices over worker threads."""
+    """Matches queries by distributing starting vertices over a worker pool.
+
+    The pool is lazy and persistent: threads start on the first parallel
+    match and are reused for every subsequent query, which is what makes an
+    engine-held matcher cheap for high-throughput repeated-query serving.
+    :meth:`close` shuts the pool down explicitly; an abandoned matcher shuts
+    it down via a GC finalizer (worker threads never reference the matcher).
+    """
 
     def __init__(
         self,
@@ -115,14 +280,55 @@ class ParallelMatcher:
         self.workers = max(1, workers)
         self.chunk_size = max(1, chunk_size)
         self.last_stats: Optional[ParallelStats] = None
+        self._jobs: "queue.Queue[Optional[_MatchJob]]" = queue.Queue()
+        self._threads: List[threading.Thread] = []
+        self._finalizer: Optional[weakref.finalize] = None
 
+    # ------------------------------------------------------------------- pool
+    def _ensure_pool(self) -> None:
+        """Start the worker threads if they are not running yet."""
+        if self._threads and all(thread.is_alive() for thread in self._threads):
+            return
+        self._threads = [
+            threading.Thread(
+                target=_pool_worker,
+                args=(self._jobs, index),
+                name=f"turbohom-pool-{index}",
+                daemon=True,
+            )
+            for index in range(self.workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+        self._finalizer = weakref.finalize(self, _shutdown_pool, self._jobs, self.workers)
+
+    def close(self) -> None:
+        """Shut the worker pool down and join its threads.
+
+        Safe to call multiple times; a later match transparently restarts
+        the pool.
+        """
+        if not self._threads:
+            return
+        if self._finalizer is not None:
+            self._finalizer()  # pushes one sentinel per worker, exactly once
+            self._finalizer = None
+        for thread in self._threads:
+            thread.join()
+        self._threads = []
+        # Fresh queue: any unconsumed sentinels must not kill a restarted pool.
+        self._jobs = queue.Queue()
+
+    # ------------------------------------------------------------------ match
     def match(
         self,
         query: QueryGraph,
         vertex_predicates: Optional[Dict[int, VertexPredicate]] = None,
+        max_results: Optional[int] = None,
+        prepared: Optional[PreparedQuery] = None,
     ) -> Tuple[List[Solution], ParallelStats]:
         """Return all solutions plus parallel execution statistics."""
-        solutions = list(self.iter_match(query, vertex_predicates))
+        solutions = list(self.iter_match(query, vertex_predicates, max_results, prepared))
         assert self.last_stats is not None
         return solutions, self.last_stats
 
@@ -130,15 +336,21 @@ class ParallelMatcher:
         self,
         query: QueryGraph,
         vertex_predicates: Optional[Dict[int, VertexPredicate]] = None,
+        max_results: Optional[int] = None,
+        prepared: Optional[PreparedQuery] = None,
     ) -> Iterator[Solution]:
-        """Stream solutions as worker threads produce them.
+        """Stream solutions as the pool workers produce them.
 
-        ``self.last_stats`` is populated once the generator is exhausted.
+        ``max_results`` (or the config's ``max_results``) stops workers once
+        that many solutions were delivered; ``prepared`` supplies precompiled
+        per-query state so repeated queries skip start-vertex selection and
+        query-tree construction.  ``self.last_stats`` is populated once the
+        generator is exhausted.
         """
         start_time = time.perf_counter()
         predicates = vertex_predicates or {}
 
-        limit = self.config.max_results
+        limit = max_results if max_results is not None else self.config.max_results
         if limit is not None and limit <= 0:
             self.last_stats = ParallelStats(
                 workers=self.workers,
@@ -153,7 +365,9 @@ class ParallelMatcher:
             # sequential matcher (identical semantics, simpler bookkeeping).
             matcher = TurboMatcher(self.graph, self.config)
             solutions_count = 0
-            for solution in matcher.iter_match(query, vertex_predicates=predicates):
+            for solution in matcher.iter_match(
+                query, vertex_predicates=predicates, max_results=limit, prepared=prepared
+            ):
                 solutions_count += 1
                 yield solution
             elapsed = (time.perf_counter() - start_time) * 1000.0
@@ -169,133 +383,28 @@ class ParallelMatcher:
             )
             return
 
-        start_vertex, start_candidates = choose_start_vertex(self.graph, query, self.config)
-        tree = write_query_tree(query, start_vertex)
-        requirements = query_requirements(query, self.config)
-        #: Evaluated lazily inside the workers (like TurboMatcher's start
-        #: loop) so early stops skip it for untouched start vertices.
-        root_predicate = predicates.get(start_vertex)
-
-        # Dynamic chunking: workers repeatedly pop small chunks of starting
-        # vertices, which evens out skewed candidate-region sizes.
-        chunks: "queue.Queue[Sequence[int]]" = queue.Queue()
-        for begin in range(0, len(start_candidates), self.chunk_size):
-            chunks.put(start_candidates[begin:begin + self.chunk_size])
-
-        #: Bounded handoff of solution batches (backpressure: a slow consumer
-        #: suspends the workers instead of accumulating the full result set).
-        #: ``None`` entries are wake tokens a finishing worker leaves so the
-        #: consumer re-checks thread liveness promptly.
-        output: "queue.Queue[Optional[List[Solution]]]" = queue.Queue(
-            maxsize=max(2 * self.workers, 8)
+        if prepared is None:
+            prepared = prepare_query(self.graph, query, self.config)
+        job = _MatchJob(
+            self.graph, self.config, query, prepared, predicates,
+            self.chunk_size, self.workers,
         )
-        #: Set when the consumer stops early (result limit reached or the
-        #: generator abandoned): workers finish their current region and exit
-        #: instead of searching the rest of the queue.
-        stop = threading.Event()
-        #: Work counters and errors are reported through shared state (under
-        #: a lock) rather than queue markers, so delivering them can never
-        #: block on the bounded queue.
-        state_lock = threading.Lock()
-        per_worker_work = [0] * self.workers
-        per_chunk_work: List[int] = []
-        worker_errors: List[BaseException] = []
-
-        def emit(batch: List[Solution]) -> bool:
-            """Stop-aware bounded put; False once the consumer stopped."""
-            while not stop.is_set():
-                try:
-                    output.put(batch, timeout=0.05)
-                    return True
-                except queue.Full:
-                    continue
-            return False
-
-        def worker(worker_index: int) -> None:
-            local_work = 0
-            local_chunk_work: List[int] = []
-            reused_order: Optional[List[int]] = None
-            try:
-                while not stop.is_set():
-                    try:
-                        chunk = chunks.get_nowait()
-                    except queue.Empty:
-                        break
-                    chunk_work_before = local_work
-                    for start_data_vertex in chunk:
-                        # Per-region stop check: cancellation takes effect
-                        # between regions (and, below, between batches).
-                        if stop.is_set():
-                            break
-                        if root_predicate is not None and not root_predicate(start_data_vertex):
-                            continue
-                        region = explore_candidate_region(
-                            self.graph, query, tree, self.config, start_data_vertex,
-                            predicates, requirements,
-                        )
-                        if region is None:
-                            continue
-                        local_work += region.size()
-                        if self.config.reuse_matching_order:
-                            if reused_order is None:
-                                reused_order = determine_matching_order(tree, region)
-                            order = reused_order
-                        else:
-                            order = determine_matching_order(tree, region)
-                        search_stats = SearchStatistics()
-                        # Stream the region's solutions out in fixed-size
-                        # batches rather than materializing the whole region:
-                        # bounds worker memory on combinatorial regions and
-                        # lets the stop signal interrupt mid-region.
-                        batch: List[Solution] = []
-                        for solution in subgraph_search_iter(
-                            self.graph, query, tree, region, order, self.config, search_stats
-                        ):
-                            batch.append(solution)
-                            if len(batch) >= _SOLUTION_BATCH_SIZE:
-                                if not emit(batch):
-                                    batch = []
-                                    break
-                                batch = []
-                        if batch:
-                            emit(batch)
-                        local_work += search_stats.recursions
-                    local_chunk_work.append(local_work - chunk_work_before)
-            except BaseException as exc:  # noqa: BLE001 - re-raised on the consumer side
-                with state_lock:
-                    worker_errors.append(exc)
-            finally:
-                with state_lock:
-                    per_worker_work[worker_index] += local_work
-                    per_chunk_work.extend(local_chunk_work)
-                try:
-                    # Wake token so the consumer notices this worker finished
-                    # without waiting out its poll timeout; dropping it when
-                    # the queue is full is fine — a full queue means the
-                    # consumer is active and will poll liveness soon.
-                    output.put_nowait(None)
-                except queue.Full:
-                    pass
-
-        threads = [
-            threading.Thread(target=worker, args=(index,), name=f"turbohom-worker-{index}")
-            for index in range(self.workers)
-        ]
-        for thread in threads:
-            thread.start()
+        self._ensure_pool()
+        for _ in range(self.workers):
+            self._jobs.put(job)
 
         solutions_count = 0
         stopped_early = False
         try:
             while not stopped_early:
                 try:
-                    batch = output.get(timeout=0.05)
+                    batch = job.output.get(timeout=0.05)
                 except queue.Empty:
-                    if any(thread.is_alive() for thread in threads):
+                    if not job.done.is_set():
                         continue
                     # All workers finished: drain whatever is left, then stop.
                     try:
-                        batch = output.get_nowait()
+                        batch = job.output.get_nowait()
                     except queue.Empty:
                         break
                 if batch is None:
@@ -309,18 +418,18 @@ class ParallelMatcher:
         finally:
             # Reached on exhaustion, on the result limit, and on generator
             # abandonment: tell workers to stop after their current batch
-            # (emit() and the region loop poll the event), then join them.
-            stop.set()
-            for thread in threads:
-                thread.join()
+            # (emit() and the region loop poll the event), then wait for all
+            # of them to leave the job before aggregating statistics.
+            job.stop.set()
+            job.done.wait()
             elapsed = (time.perf_counter() - start_time) * 1000.0
             self.last_stats = ParallelStats(
                 workers=self.workers,
                 chunk_size=self.chunk_size,
                 elapsed_ms=elapsed,
                 solutions=solutions_count,
-                per_worker_work=per_worker_work,
-                per_chunk_work=per_chunk_work,
+                per_worker_work=job.per_worker_work,
+                per_chunk_work=job.per_chunk_work,
             )
         # A worker error is surfaced only when the enumeration ran to
         # exhaustion.  After an intentional early stop (max_results reached)
@@ -328,5 +437,5 @@ class ParallelMatcher:
         # never have touched the failing region either — raising here would
         # make the same query non-deterministically raise or succeed
         # depending on worker timing.
-        if worker_errors and not stopped_early:
-            raise worker_errors[0]
+        if job.errors and not stopped_early:
+            raise job.errors[0]

@@ -16,12 +16,30 @@ Special cases handled as in Section 4.2:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.graph.labeled_graph import LabeledGraph
 from repro.graph.query_graph import QueryGraph
 from repro.matching.config import MatchConfig
 from repro.matching.filters import passes_filters, vertex_requirements
+
+
+@dataclass(frozen=True)
+class StartSelection:
+    """The outcome of ``ChooseStartQueryVertex``, in a cacheable form.
+
+    Selection depends only on the (immutable) data graph, the query graph and
+    the match configuration, so a compiled query plan can store it and every
+    later execution of the same query skips the ranking and exact-count
+    estimation entirely.
+    """
+
+    #: Chosen start query vertex index.
+    vertex: int
+    #: Candidate start data vertices (already degree/NLF-filtered when the
+    #: configuration enables those filters).
+    candidates: List[int]
 
 
 def candidate_start_vertices(
@@ -100,6 +118,16 @@ def choose_start_vertex(
     candidate list already reflects the degree / NLF filters when they are
     enabled by ``config``.
     """
+    selection = choose_start(graph, query, config)
+    return selection.vertex, selection.candidates
+
+
+def choose_start(
+    graph: LabeledGraph,
+    query: QueryGraph,
+    config: MatchConfig,
+) -> StartSelection:
+    """``ChooseStartQueryVertex`` returning a cacheable :class:`StartSelection`."""
     ranked: List[Tuple[float, int]] = []
     for u in range(query.vertex_count()):
         frequency = estimate_frequency(graph, query, u)
@@ -133,4 +161,4 @@ def choose_start_vertex(
             best_candidates = candidates
             if not candidates:
                 break
-    return best_vertex, best_candidates if best_candidates is not None else []
+    return StartSelection(best_vertex, best_candidates if best_candidates is not None else [])

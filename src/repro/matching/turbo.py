@@ -18,6 +18,13 @@ search, so consumers (engines, the parallel matcher, result limits) never
 force a full result list into memory.  :meth:`match`, :meth:`count` and
 :meth:`match_with_callback` are thin adapters over it.
 
+Per-query preparation (start-vertex selection, query-tree construction,
+filter-requirement derivation, the shared ``+REUSE`` matching-order slot) is
+factored into :func:`prepare_query` / :class:`PreparedQuery` so the engine's
+plan cache can run it once per *distinct* query and hand the precompiled
+state to every later execution; ``iter_match(..., prepared=...)`` then goes
+straight to candidate-region exploration.
+
 The matcher operates on vertex mappings only; edge-label mappings for
 predicate variables (the ``Me`` of Definition 2) are enumerated by the
 caller via :meth:`LabeledGraph.edge_labels_between`, which keeps the hot
@@ -37,14 +44,76 @@ from repro.matching.candidate_region import (
     query_requirements,
 )
 from repro.matching.config import MatchConfig
-from repro.matching.filters import passes_filters, vertex_requirements
-from repro.matching.matching_order import determine_matching_order
-from repro.matching.query_tree import write_query_tree
-from repro.matching.start_vertex import candidate_start_vertices, choose_start_vertex
+from repro.matching.filters import VertexRequirements, passes_filters, vertex_requirements
+from repro.matching.matching_order import OrderCache, determine_matching_order
+from repro.matching.query_tree import QueryTree, write_query_tree
+from repro.matching.start_vertex import candidate_start_vertices, choose_start
 from repro.matching.subgraph_search import SearchStatistics, subgraph_search_iter
 
 #: A solution maps query vertex index -> data vertex id.
 Solution = List[int]
+
+
+@dataclass
+class PreparedQuery:
+    """Precompiled per-query matching state (everything before Algorithm 1's
+    start-vertex loop).
+
+    All fields depend only on the immutable data graph, the query graph and
+    the :class:`MatchConfig`, so a prepared query can be cached and reused by
+    every execution of the same query.  ``order_cache`` is deliberately
+    mutable: under ``+REUSE`` the first region's matching order is stored
+    there and reused across regions *and* across executions.
+    """
+
+    query: QueryGraph
+    start_vertex: int
+    start_candidates: List[int]
+    #: Query tree rooted at ``start_vertex`` (None for single-vertex queries).
+    tree: Optional[QueryTree]
+    #: Per-vertex degree/NLF requirements for candidate-region exploration.
+    requirements: Dict[int, VertexRequirements]
+    #: Shared ``+REUSE`` matching-order slot.
+    order_cache: OrderCache
+
+
+def prepare_query(
+    graph: LabeledGraph,
+    query: QueryGraph,
+    config: MatchConfig,
+) -> PreparedQuery:
+    """Run all per-query preparation of a connected query once.
+
+    For single-vertex queries the candidate list is already degree/NLF
+    filtered (when the configuration enables those filters), mirroring what
+    :func:`~repro.matching.start_vertex.choose_start` does for structural
+    queries.
+    """
+    if query.vertex_count() == 1 and query.edge_count() == 0:
+        candidates = candidate_start_vertices(graph, query, 0)
+        if config.use_degree_filter or config.use_nlf_filter:
+            requirements = vertex_requirements(query, 0, config.homomorphism)
+            candidates = [
+                v
+                for v in candidates
+                if passes_filters(
+                    graph,
+                    query,
+                    0,
+                    v,
+                    config.homomorphism,
+                    config.use_degree_filter,
+                    config.use_nlf_filter,
+                    requirements,
+                )
+            ]
+        return PreparedQuery(query, 0, candidates, None, {}, OrderCache())
+    selection = choose_start(graph, query, config)
+    tree = write_query_tree(query, selection.vertex)
+    requirements = query_requirements(query, config)
+    return PreparedQuery(
+        query, selection.vertex, selection.candidates, tree, requirements, OrderCache()
+    )
 
 
 @dataclass
@@ -72,19 +141,23 @@ class TurboMatcher:
         query: QueryGraph,
         vertex_predicates: Optional[Dict[int, VertexPredicate]] = None,
         max_results: Optional[int] = None,
+        prepared: Optional[PreparedQuery] = None,
     ) -> Iterator[Solution]:
         """Stream all vertex mappings of ``query`` in the data graph.
 
         Solutions are yielded as they are found; ``max_results`` (or the
         config's ``max_results``) stops the enumeration after that many
-        solutions.  ``self.last_statistics`` reflects the work done so far at
-        any point of the iteration.
+        solutions.  ``prepared`` supplies precompiled per-query state (from
+        :func:`prepare_query`, typically via a cached query plan) so the
+        start-vertex selection and query-tree construction are skipped.
+        ``self.last_statistics`` reflects the work done so far at any point
+        of the iteration.
         """
         limit = max_results if max_results is not None else self.config.max_results
         if limit is not None and limit <= 0:
             return
         produced = 0
-        for mapping in self._iter_solutions(query, vertex_predicates or {}):
+        for mapping in self._iter_solutions(query, vertex_predicates or {}, prepared):
             produced += 1
             yield mapping
             if limit is not None and produced >= limit:
@@ -123,6 +196,7 @@ class TurboMatcher:
         self,
         query: QueryGraph,
         predicates: Dict[int, VertexPredicate],
+        prepared: Optional[PreparedQuery] = None,
     ) -> Iterator[Solution]:
         """Generator core shared by every public entry point."""
         stats = MatchStatistics()
@@ -137,18 +211,21 @@ class TurboMatcher:
                 "TurboMatcher requires a connected query graph; split disconnected "
                 "patterns into components (the engine layer does this automatically)"
             )
+        if prepared is None:
+            prepared = prepare_query(self.graph, query, self.config)
         if query.vertex_count() == 1 and query.edge_count() == 0:
-            yield from self._iter_single_vertex(query, predicates, stats)
+            yield from self._iter_single_vertex(query, predicates, stats, prepared)
             return
 
-        start_vertex, start_candidates = choose_start_vertex(self.graph, query, self.config)
+        start_vertex = prepared.start_vertex
+        tree = prepared.tree
+        requirements = prepared.requirements
         root_predicate = predicates.get(start_vertex)
-        tree = write_query_tree(query, start_vertex)
-        requirements = query_requirements(query, self.config)
-        stats.start_vertices = len(start_candidates)
+        stats.start_vertices = len(prepared.start_candidates)
+        assert tree is not None
 
-        reused_order: Optional[List[int]] = None
-        for start_data_vertex in start_candidates:
+        order_cache = prepared.order_cache if self.config.reuse_matching_order else None
+        for start_data_vertex in prepared.start_candidates:
             if root_predicate is not None and not root_predicate(start_data_vertex):
                 continue
             region = explore_candidate_region(
@@ -159,12 +236,7 @@ class TurboMatcher:
                 continue
             stats.candidate_regions += 1
             stats.region_vertices += region.size()
-            if self.config.reuse_matching_order:
-                if reused_order is None:
-                    reused_order = determine_matching_order(tree, region)
-                order = reused_order
-            else:
-                order = determine_matching_order(tree, region)
+            order = determine_matching_order(tree, region, order_cache)
             for mapping in subgraph_search_iter(
                 self.graph, query, tree, region, order, self.config, stats.search
             ):
@@ -177,27 +249,16 @@ class TurboMatcher:
         query: QueryGraph,
         predicates: Dict[int, VertexPredicate],
         stats: MatchStatistics,
+        prepared: PreparedQuery,
     ) -> Iterator[Solution]:
-        """Algorithm 1, lines 2–4: queries with a single vertex and no edge."""
-        candidates = candidate_start_vertices(self.graph, query, 0)
+        """Algorithm 1, lines 2–4: queries with a single vertex and no edge.
+
+        The degree/NLF filters were already applied by :func:`prepare_query`,
+        so only the runtime vertex predicates remain.
+        """
         predicate = predicates.get(0)
-        use_filters = self.config.use_degree_filter or self.config.use_nlf_filter
-        requirements = (
-            vertex_requirements(query, 0, self.config.homomorphism) if use_filters else None
-        )
-        for data_vertex in candidates:
+        for data_vertex in prepared.start_candidates:
             if predicate is not None and not predicate(data_vertex):
-                continue
-            if use_filters and not passes_filters(
-                self.graph,
-                query,
-                0,
-                data_vertex,
-                self.config.homomorphism,
-                self.config.use_degree_filter,
-                self.config.use_nlf_filter,
-                requirements,
-            ):
                 continue
             stats.solutions += 1
             yield [data_vertex]

@@ -27,6 +27,18 @@ class Variable(str):
 PatternTerm = Union[Variable, Term]
 
 
+def term_fingerprint(term: PatternTerm) -> str:
+    """Canonical rendering of a pattern term for plan-cache fingerprints.
+
+    Variables render as ``?name`` and concrete terms in N-Triples syntax, so
+    a variable ``?x`` can never collide with an IRI or literal spelling
+    ``x`` (IRIs are angle-bracketed, literals quoted with escaping).
+    """
+    if isinstance(term, Variable):
+        return f"?{term}"
+    return term.n3()
+
+
 @dataclass(frozen=True)
 class TriplePattern:
     """A triple pattern; each position is a variable or a concrete term."""
@@ -42,6 +54,14 @@ class TriplePattern:
     def terms(self) -> Tuple[PatternTerm, PatternTerm, PatternTerm]:
         """The three positions as a tuple."""
         return (self.subject, self.predicate, self.object)
+
+    def fingerprint(self) -> str:
+        """Canonical one-line form used by the engine's plan cache."""
+        return (
+            f"{term_fingerprint(self.subject)} "
+            f"{term_fingerprint(self.predicate)} "
+            f"{term_fingerprint(self.object)}"
+        )
 
 
 @dataclass

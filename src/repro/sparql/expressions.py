@@ -43,6 +43,16 @@ class Expression:
         """
         return len(set(self.variables())) > 1
 
+    def fingerprint(self) -> str:
+        """Canonical form of the expression for plan-cache fingerprints.
+
+        Every concrete expression is a dataclass whose ``repr`` is
+        value-based and includes the class name recursively, so it is a
+        stable, collision-free canonical form; subclasses with
+        non-value-based state must override.
+        """
+        return repr(self)
+
 
 def _to_python(value: Union[Term, PythonValue]) -> PythonValue:
     """Coerce an RDF term or Python value to a plain Python value."""
