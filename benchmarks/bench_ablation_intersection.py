@@ -10,44 +10,11 @@ candidate sets grow, verifying the crossover direction.
 from __future__ import annotations
 
 import pytest
-from conftest import report
+from conftest import chord_query, report, star_closure_graph
 
 from repro.bench import experiments
-from repro.graph.labeled_graph import GraphBuilder
-from repro.graph.query_graph import QueryGraph
 from repro.matching.config import MatchConfig
 from repro.matching.turbo import TurboMatcher
-
-HUB, SPOKE = 0, 1
-LINK, CROSS = 0, 1
-
-
-def _star_with_closure(spokes: int):
-    """A hub connected to many spokes, with a chord between consecutive spokes.
-
-    Matching ``hub→a, hub→b, a→b`` produces one large candidate set on which
-    the non-tree edge (a→b) must be verified — exactly the situation +INT
-    targets (Figure 11 of the paper).
-    """
-    builder = GraphBuilder()
-    builder.add_vertex(0, (HUB,))
-    for index in range(1, spokes + 1):
-        builder.add_vertex(index, (SPOKE,))
-        builder.add_edge(0, LINK, index)
-    for index in range(1, spokes):
-        builder.add_edge(index, CROSS, index + 1)
-    return builder.build()
-
-
-def _chord_query() -> QueryGraph:
-    query = QueryGraph()
-    hub = query.add_vertex("hub", frozenset((HUB,)))
-    a = query.add_vertex("a", frozenset((SPOKE,)))
-    b = query.add_vertex("b", frozenset((SPOKE,)))
-    query.add_edge(hub, a, LINK)
-    query.add_edge(hub, b, LINK)
-    query.add_edge(a, b, CROSS)
-    return query
 
 
 def test_ablation_report(benchmark):
@@ -63,8 +30,8 @@ def test_ablation_report(benchmark):
 def test_ablation_star_closure(benchmark, use_intersection):
     """Synthetic large-candidate-set workload: +INT should not lose, and the
     solution counts must be identical either way."""
-    graph = _star_with_closure(spokes=2000)
-    query = _chord_query()
+    graph = star_closure_graph(spokes=2000)
+    query = chord_query()
     config = MatchConfig.turbo_hom_pp()
     if not use_intersection:
         config = config.without("INT")

@@ -15,6 +15,8 @@ import pytest
 from repro.baselines import BitmapEngine, RDF3XEngine, TripleBitEngine
 from repro.datasets import load_bsbm, load_btc, load_lubm, load_yago
 from repro.engine.turbo_engine import TurboHomEngine, TurboHomPPEngine
+from repro.graph.labeled_graph import GraphBuilder
+from repro.graph.query_graph import QueryGraph
 
 #: Scale factors standing in for LUBM80 / LUBM800 / LUBM8000.
 LUBM_SCALES = (1, 2, 4)
@@ -27,6 +29,48 @@ def report(*tables) -> None:
     for table in tables:
         print()
         print(table.to_text())
+
+
+# ------------------------------------------- synthetic star-closure workload
+#: Vertex / edge labels of the star-closure probe graphs.
+HUB, SPOKE = 0, 1
+LINK, CROSS = 0, 1
+
+
+def star_closure_graph(spokes: int, hubs: int = 1):
+    """Star-with-chord clusters: each hub fans out, consecutive spokes chord.
+
+    With one hub this is the +INT ablation workload (one large candidate
+    set whose non-tree chord edge must be verified, Figure 11); with many
+    hubs the start-candidate list is long enough for dynamic chunking to
+    spread across parallel shard workers (Figure 16 probe).
+    """
+    builder = GraphBuilder()
+    vertex = 0
+    for _ in range(hubs):
+        hub = vertex
+        builder.add_vertex(hub, (HUB,))
+        vertex += 1
+        first_spoke = vertex
+        for _ in range(spokes):
+            builder.add_vertex(vertex, (SPOKE,))
+            builder.add_edge(hub, LINK, vertex)
+            vertex += 1
+        for spoke in range(first_spoke, vertex - 1):
+            builder.add_edge(spoke, CROSS, spoke + 1)
+    return builder.build()
+
+
+def chord_query() -> QueryGraph:
+    """``hub→a, hub→b, a→b`` — the chord pattern over a star cluster."""
+    query = QueryGraph()
+    hub = query.add_vertex("hub", frozenset((HUB,)))
+    a = query.add_vertex("a", frozenset((SPOKE,)))
+    b = query.add_vertex("b", frozenset((SPOKE,)))
+    query.add_edge(hub, a, LINK)
+    query.add_edge(hub, b, LINK)
+    query.add_edge(a, b, CROSS)
+    return query
 
 
 @pytest.fixture(scope="session")

@@ -1,8 +1,14 @@
 """SPARQL query engines built on the matching core and the baselines' solvers."""
 
-from repro.engine.base import Engine, BGPSolver
+from repro.engine.base import (
+    Engine,
+    BGPSolver,
+    resolve_execution_mode,
+    resolve_worker_count,
+)
 from repro.engine.plan import QueryPlan, compile_query
 from repro.engine.plan_cache import PlanCache, bgp_fingerprint
+from repro.engine.shard_executor import ShardExecutor
 from repro.engine.turbo_engine import TurboHomEngine, TurboHomPPEngine, TurboEngine
 
 __all__ = [
@@ -10,9 +16,12 @@ __all__ = [
     "BGPSolver",
     "PlanCache",
     "QueryPlan",
+    "ShardExecutor",
     "TurboEngine",
     "TurboHomEngine",
     "TurboHomPPEngine",
     "bgp_fingerprint",
     "compile_query",
+    "resolve_execution_mode",
+    "resolve_worker_count",
 ]

@@ -16,6 +16,7 @@ SPARQL text, but each has its own storage and BGP evaluation strategy.
 from __future__ import annotations
 
 import abc
+import os
 from typing import Iterable, List, Optional, Sequence, Union
 
 from repro.exceptions import EngineError
@@ -24,6 +25,53 @@ from repro.sparql import expressions as expr
 from repro.sparql.ast import SelectQuery, TriplePattern
 from repro.sparql.parser import parse_sparql
 from repro.sparql.results import Binding, ResultSet
+
+
+#: Supported parallel execution modes: GIL-bound worker threads vs shard
+#: worker processes attached to a shared-memory graph export.
+EXECUTION_MODES = ("threads", "processes")
+
+#: Environment override for engines constructed without an explicit mode —
+#: lets a CI job (or an operator) re-run an unmodified workload under
+#: process sharding: ``REPRO_EXECUTION_MODE=processes``.
+EXECUTION_MODE_ENV = "REPRO_EXECUTION_MODE"
+
+#: Companion override supplying the worker count for engines that were left
+#: at their sequential default (explicit ``workers=N`` arguments win).
+EXECUTION_WORKERS_ENV = "REPRO_EXECUTION_WORKERS"
+
+
+def resolve_execution_mode(mode: Optional[str] = None) -> str:
+    """Validate an execution mode, falling back to the environment override.
+
+    An explicit ``mode`` argument always wins; ``None`` consults
+    ``REPRO_EXECUTION_MODE`` and finally defaults to ``"threads"``.
+    """
+    if mode is None:
+        mode = os.environ.get(EXECUTION_MODE_ENV, "").strip().lower() or "threads"
+    if mode not in EXECUTION_MODES:
+        raise EngineError(
+            f"unknown execution mode {mode!r}; expected one of {EXECUTION_MODES}"
+        )
+    return mode
+
+
+def resolve_worker_count(workers: int) -> int:
+    """Apply the ``REPRO_EXECUTION_WORKERS`` override to a *default* count.
+
+    Only engines left at the sequential default (``workers=1``) are
+    affected, so explicitly parallel constructions keep their configured
+    width while a CI sweep can still force every default engine parallel.
+    """
+    if workers != 1:
+        return workers
+    env = os.environ.get(EXECUTION_WORKERS_ENV, "").strip()
+    if not env:
+        return workers
+    try:
+        return max(1, int(env))
+    except ValueError as error:
+        raise EngineError(f"invalid {EXECUTION_WORKERS_ENV}={env!r}") from error
 
 
 class BGPSolver(abc.ABC):

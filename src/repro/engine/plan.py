@@ -102,9 +102,18 @@ class AlternativePlan:
 
 @dataclass
 class QueryPlan:
-    """A fully compiled basic graph pattern."""
+    """A fully compiled basic graph pattern.
+
+    Plans are picklable: shard worker processes rehydrate them from the
+    canonical ``fingerprint`` into per-worker plan caches (the push-down
+    predicates drop their graph mapping on pickle and are re-bound worker
+    side, see :class:`PushdownPredicate`).
+    """
 
     alternatives: List[AlternativePlan]
+    #: Canonical BGP/filter fingerprint (set by the solver); the address
+    #: under which shard workers cache the rehydrated plan.
+    fingerprint: Optional[object] = None
 
     def supports_direct_limit(self) -> bool:
         """True when a result limit may be pushed into the matcher itself.
@@ -248,6 +257,48 @@ def _predicate_variable_edges(query: QueryGraph) -> Dict[str, List[Tuple[int, in
     return edges
 
 
+class PushdownPredicate:
+    """A compiled single-variable filter, applied during candidate generation.
+
+    Callable like the closure it replaces, but picklable: the graph mapping
+    (which holds the full term dictionary) is dropped on pickle and
+    re-injected with :meth:`bind` after rehydration in a shard worker, so a
+    shipped plan carries only the variable name and filter expressions.
+    """
+
+    __slots__ = ("name", "conditions", "_mapping")
+
+    def __init__(
+        self,
+        name: str,
+        conditions: Sequence[expr.Expression],
+        mapping: Optional[GraphMapping],
+    ):
+        self.name = name
+        self.conditions = list(conditions)
+        self._mapping = mapping
+
+    def bind(self, mapping: GraphMapping) -> None:
+        """Attach the mapping of the process this predicate now runs in."""
+        self._mapping = mapping
+
+    def __call__(self, data_vertex: int) -> bool:
+        if self._mapping is None:
+            raise RuntimeError(
+                "PushdownPredicate used before bind(); rehydrated plans must be "
+                "bound to a graph mapping first"
+            )
+        binding = {self.name: self._mapping.term_for_vertex(data_vertex)}
+        return all(expr.evaluate_filter(c, binding) for c in self.conditions)
+
+    def __getstate__(self):
+        return (self.name, self.conditions)
+
+    def __setstate__(self, state):
+        self.name, self.conditions = state
+        self._mapping = None
+
+
 def _vertex_predicates(
     query: QueryGraph,
     cheap_filters: Sequence[expr.Expression],
@@ -266,15 +317,9 @@ def _vertex_predicates(
     for vertex in query.vertices:
         if not vertex.is_variable or vertex.name not in by_variable:
             continue
-        conditions = by_variable[vertex.name]
-        name = vertex.name
-
-        def predicate(data_vertex: int, _conditions=conditions, _name=name) -> bool:
-            term = mapping.term_for_vertex(data_vertex)
-            binding = {_name: term}
-            return all(expr.evaluate_filter(c, binding) for c in _conditions)
-
-        predicates[vertex.index] = predicate
+        predicates[vertex.index] = PushdownPredicate(
+            vertex.name, by_variable[vertex.name], mapping
+        )
     return predicates
 
 

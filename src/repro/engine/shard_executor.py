@@ -1,0 +1,87 @@
+"""Engine-side adapter running compiled plan components on process shards.
+
+:class:`ShardExecutor` is what ``execution_mode="processes"`` plugs into the
+:class:`~repro.engine.turbo_engine.TurboBGPSolver`: it owns one persistent
+:class:`~repro.matching.process_shard.ProcessShardPool` (workers attached to
+the engine graph's shared-memory CSR export, holding the engine's
+:class:`~repro.graph.transform.GraphMapping` as their predicate-binding
+context) and streams one :class:`~repro.engine.plan.ComponentPlan` at a
+time through it.
+
+Plan addressing: each component job is keyed by the plan's canonical
+fingerprint plus its ``(alternative, component)`` coordinates, so workers
+rehydrate a given compiled component exactly once and serve every repeated
+execution from their per-worker plan caches — the process analogue of the
+engine's :class:`~repro.engine.plan_cache.PlanCache`.  Plans compiled while
+the cache is disabled carry no fingerprint and fall back to a per-executor
+serial (shipped every time, never cached worker-side).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.engine.plan import QueryPlan
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.transform import GraphMapping
+from repro.matching.config import MatchConfig
+from repro.matching.parallel import ParallelStats
+from repro.matching.process_shard import ProcessShardPool
+from repro.matching.turbo import Solution
+
+
+class ShardExecutor:
+    """Streams compiled plan components through a process shard pool."""
+
+    def __init__(
+        self,
+        graph: LabeledGraph,
+        mapping: GraphMapping,
+        config: MatchConfig,
+        workers: int,
+        chunk_size: int = 8,
+        start_method: Optional[str] = None,
+    ):
+        self.pool = ProcessShardPool(
+            graph,
+            config,
+            workers=workers,
+            chunk_size=chunk_size,
+            start_method=start_method,
+            worker_context=mapping,
+        )
+
+    @property
+    def last_stats(self) -> Optional[ParallelStats]:
+        """Statistics of the most recently completed component stream."""
+        return self.pool.last_stats
+
+    def iter_component(
+        self,
+        plan: QueryPlan,
+        alternative_index: int,
+        component_index: int,
+        deep_limit: Optional[int] = None,
+    ) -> Iterator[Solution]:
+        """Stream one component's raw solutions from the shard workers.
+
+        ``deep_limit`` is the solver's pushed-down result limit; reaching it
+        fans a cancel out to every shard.
+        """
+        component = plan.alternatives[alternative_index].components[component_index]
+        if plan.fingerprint is None:
+            # Uncacheable plan: a fresh serial keeps worker caches untouched.
+            plan_key = None
+        else:
+            plan_key = (plan.fingerprint, alternative_index, component_index)
+        return self.pool.iter_match(
+            component.query,
+            vertex_predicates=component.pushdown,
+            max_results=deep_limit,
+            prepared=component.prepared,
+            plan_key=plan_key,
+        )
+
+    def close(self) -> None:
+        """Shut the worker processes down and unlink the graph segment."""
+        self.pool.close()

@@ -29,9 +29,14 @@ Predicate-variable choices travel in a typed :class:`MatchedSolution`
 wrapper internal to the solver, so algebra operators and projections only
 ever see plain variable→term bindings.
 
-Parallel execution (``workers > 1``) reuses one engine-held
+Parallel execution (``workers > 1``) comes in two modes, selected by the
+``execution_mode`` knob (or the ``REPRO_EXECUTION_MODE`` environment
+override): ``"threads"`` reuses one engine-held
 :class:`~repro.matching.parallel.ParallelMatcher`, whose persistent worker
-pool spans queries instead of being spun up per BGP.
+pool spans queries instead of being spun up per BGP; ``"processes"`` runs a
+:class:`~repro.engine.shard_executor.ShardExecutor` whose worker processes
+attach the graph's shared-memory CSR export and cache rehydrated plans by
+fingerprint (see ``docs/execution_modes.md``).
 """
 
 from __future__ import annotations
@@ -40,9 +45,15 @@ import itertools
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
-from repro.engine.base import BGPSolver, Engine
+from repro.engine.base import (
+    BGPSolver,
+    Engine,
+    resolve_execution_mode,
+    resolve_worker_count,
+)
 from repro.engine.plan import AlternativePlan, ComponentPlan, QueryPlan, TypeVariableBinder, compile_query
 from repro.engine.plan_cache import PlanCache, bgp_fingerprint
+from repro.engine.shard_executor import ShardExecutor
 from repro.graph.labeled_graph import LabeledGraph
 from repro.graph.transform import (
     GraphMapping,
@@ -110,6 +121,7 @@ class TurboBGPSolver(BGPSolver):
         workers: int = 1,
         plan_cache: Optional[PlanCache] = None,
         pool: Optional[ParallelMatcher] = None,
+        executor: Optional[ShardExecutor] = None,
     ):
         self.graph = graph
         self.mapping = mapping
@@ -119,11 +131,13 @@ class TurboBGPSolver(BGPSolver):
         self.plan_cache = plan_cache
         # The sequential matcher is stateless between calls and shared by
         # every component stream; the parallel pool (persistent worker
-        # threads) is engine-held so it spans queries.
+        # threads) or shard executor (persistent worker processes) is
+        # engine-held so it spans queries.
         self._matcher = TurboMatcher(graph, config)
-        if pool is None and workers > 1:
+        if pool is None and executor is None and workers > 1:
             pool = ParallelMatcher(graph, config, workers=workers)
         self._pool = pool
+        self._executor = executor
 
     def supports_filter_pushdown(self) -> bool:
         return True
@@ -156,11 +170,17 @@ class TurboBGPSolver(BGPSolver):
     ) -> QueryPlan:
         """The compiled plan for a BGP, from the cache when possible."""
         if self.plan_cache is None:
-            return self._compile(patterns, cheap_filters)
+            plan = self._compile(patterns, cheap_filters)
+            if self._executor is not None:
+                # Shard workers address their plan caches by fingerprint, so
+                # plans are fingerprinted even when the engine cache is off.
+                plan.fingerprint = bgp_fingerprint(patterns, cheap_filters)
+            return plan
         key = bgp_fingerprint(patterns, cheap_filters)
         plan = self.plan_cache.get(key)
         if plan is None:
             plan = self._compile(patterns, cheap_filters)
+            plan.fingerprint = key
             self.plan_cache.put(key, plan)
         return plan
 
@@ -176,8 +196,8 @@ class TurboBGPSolver(BGPSolver):
     # -------------------------------------------------------------- execution
     def _execute(self, plan: QueryPlan, deep_limit: Optional[int]) -> Iterator[Binding]:
         """Stream the plan's alternatives (lazy concatenation)."""
-        for alternative in plan.alternatives:
-            stream = self._stream_components(alternative, deep_limit)
+        for alternative_index, alternative in enumerate(plan.alternatives):
+            stream = self._stream_components(plan, alternative_index, deep_limit)
             bindings = self._expand_predicate_choices(stream)
             if alternative.type_binders:
                 bindings = self._expand_type_variables(bindings, alternative.type_binders)
@@ -186,7 +206,7 @@ class TurboBGPSolver(BGPSolver):
             yield from bindings
 
     def _stream_components(
-        self, alternative: AlternativePlan, deep_limit: Optional[int]
+        self, plan: QueryPlan, alternative_index: int, deep_limit: Optional[int]
     ) -> Iterator[MatchedSolution]:
         """Lazy cross product of the alternative's connected components.
 
@@ -195,20 +215,22 @@ class TurboBGPSolver(BGPSolver):
         before the outer stream is ever pulled, so an empty component costs
         nothing on the expensive side.
         """
-        components = alternative.components
+        components = plan.alternatives[alternative_index].components
         if not components:
             yield MatchedSolution({})
             return
         if len(components) == 1:
-            yield from self._stream_component(components[0], deep_limit)
+            yield from self._stream_component(plan, alternative_index, 0, deep_limit)
             return
         rest: List[List[MatchedSolution]] = []
-        for component in components[1:]:
-            materialized = list(self._stream_component(component, None))
+        for component_index in range(1, len(components)):
+            materialized = list(
+                self._stream_component(plan, alternative_index, component_index, None)
+            )
             if not materialized:
                 return
             rest.append(materialized)
-        for first in self._stream_component(components[0], None):
+        for first in self._stream_component(plan, alternative_index, 0, None):
             for parts in itertools.product(*rest):
                 binding = dict(first.binding)
                 choices = dict(first.choices) if first.choices else None
@@ -219,12 +241,21 @@ class TurboBGPSolver(BGPSolver):
                 yield MatchedSolution(binding, choices)
 
     def _stream_component(
-        self, component: ComponentPlan, deep_limit: Optional[int]
+        self,
+        plan: QueryPlan,
+        alternative_index: int,
+        component_index: int,
+        deep_limit: Optional[int],
     ) -> Iterator[MatchedSolution]:
         """Stream one component's solutions straight out of the matcher."""
+        component = plan.alternatives[alternative_index].components[component_index]
         query = component.query
-        if self._pool is not None and query.vertex_count() > 1:
-            solutions: Iterable[Solution] = self._pool.iter_match(
+        if self._executor is not None and query.vertex_count() > 1:
+            solutions: Iterable[Solution] = self._executor.iter_component(
+                plan, alternative_index, component_index, deep_limit
+            )
+        elif self._pool is not None and query.vertex_count() > 1:
+            solutions = self._pool.iter_match(
                 query,
                 vertex_predicates=component.pushdown,
                 max_results=deep_limit,
@@ -363,10 +394,25 @@ class TurboEngine(Engine):
         config: Optional[MatchConfig] = None,
         workers: int = 1,
         plan_cache_size: int = 128,
+        execution_mode: Optional[str] = None,
     ):
         super().__init__()
         self.type_aware = type_aware
         self.config = config if config is not None else MatchConfig.turbo_hom_pp()
+        #: How parallel BGPs are executed: ``"threads"`` (GIL-bound worker
+        #: threads) or ``"processes"`` (shard workers over a shared-memory
+        #: graph export).  ``None`` defers to ``REPRO_EXECUTION_MODE``;
+        #: ``workers`` left at 1 defers to ``REPRO_EXECUTION_WORKERS``.
+        self.execution_mode = resolve_execution_mode(execution_mode)
+        # The env worker override accompanies the env mode sweep: an engine
+        # that pins its mode explicitly keeps its configured width.
+        if execution_mode is None:
+            workers = resolve_worker_count(workers)
+        if self.execution_mode == "processes" and workers == 1:
+            # Process mode with one worker would silently fall back to the
+            # sequential matcher on every query; requesting it means
+            # parallelism was wanted, so give it a minimal shard pool.
+            workers = 2
         self.workers = workers
         self.graph: Optional[LabeledGraph] = None
         self.mapping: Optional[GraphMapping] = None
@@ -377,6 +423,7 @@ class TurboEngine(Engine):
         )
         self._solver: Optional[TurboBGPSolver] = None
         self._pool: Optional[ParallelMatcher] = None
+        self._executor: Optional[ShardExecutor] = None
 
     def load(self, store: TripleStore) -> None:
         """Transform the store into the engine's labeled graph."""
@@ -395,8 +442,15 @@ class TurboEngine(Engine):
         if self.graph is None or self.mapping is None:
             raise RuntimeError(f"{self.name}: load() must be called before querying")
         if self._solver is None:
-            if self.workers > 1 and self._pool is None:
-                self._pool = ParallelMatcher(self.graph, self.config, workers=self.workers)
+            if self.workers > 1:
+                if self.execution_mode == "processes" and self._executor is None:
+                    self._executor = ShardExecutor(
+                        self.graph, self.mapping, self.config, workers=self.workers
+                    )
+                elif self.execution_mode == "threads" and self._pool is None:
+                    self._pool = ParallelMatcher(
+                        self.graph, self.config, workers=self.workers
+                    )
             self._solver = TurboBGPSolver(
                 self.graph,
                 self.mapping,
@@ -405,6 +459,7 @@ class TurboEngine(Engine):
                 self.workers,
                 plan_cache=self.plan_cache,
                 pool=self._pool,
+                executor=self._executor,
             )
         # Keep the memoized solver honest if the engine's cache was swapped
         # or disabled after the first query.
@@ -412,10 +467,17 @@ class TurboEngine(Engine):
         return self._solver
 
     def close(self) -> None:
-        """Shut down the engine-held parallel worker pool (if any)."""
+        """Shut down the engine-held worker pool / shard executor (if any)."""
         if self._pool is not None:
             self._pool.close()
             self._pool = None
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
+        # Drop the memoized solver too: it holds the closed pool/executor,
+        # and a later query must build (and the next close() must find) a
+        # fresh engine-tracked one instead of resurrecting the old.
+        self._solver = None
 
 
 class TurboHomEngine(TurboEngine):
@@ -423,11 +485,12 @@ class TurboHomEngine(TurboEngine):
 
     name = "TurboHOM"
 
-    def __init__(self, workers: int = 1):
+    def __init__(self, workers: int = 1, execution_mode: Optional[str] = None):
         super().__init__(
             type_aware=False,
             config=MatchConfig.homomorphism_baseline(),
             workers=workers,
+            execution_mode=execution_mode,
         )
 
 
@@ -436,9 +499,15 @@ class TurboHomPPEngine(TurboEngine):
 
     name = "TurboHOM++"
 
-    def __init__(self, config: Optional[MatchConfig] = None, workers: int = 1):
+    def __init__(
+        self,
+        config: Optional[MatchConfig] = None,
+        workers: int = 1,
+        execution_mode: Optional[str] = None,
+    ):
         super().__init__(
             type_aware=True,
             config=config if config is not None else MatchConfig.turbo_hom_pp(),
             workers=workers,
+            execution_mode=execution_mode,
         )

@@ -9,7 +9,12 @@ The package implements the paper's algorithm family:
   :func:`turbo_hom_pp` — convenience constructors with the paper's settings.
 * :mod:`~repro.matching.generic` — a simple backtracking matcher used as a
   correctness oracle and as the "generic framework" baseline of Section 2.2.
-* :mod:`~repro.matching.parallel` — work partitioning of starting vertices.
+* :mod:`~repro.matching.parallel` — work partitioning of starting vertices
+  over a persistent thread pool.
+* :mod:`~repro.matching.process_shard` — the same partitioning over worker
+  processes attached to a shared-memory CSR export (multi-core matching).
+* :mod:`~repro.matching.shard_protocol` — the job/merge protocol both pools
+  share, so thread and process execution stay semantically identical.
 """
 
 from repro.matching.config import MatchConfig
@@ -23,6 +28,7 @@ from repro.matching.turbo import (
 )
 from repro.matching.generic import GenericMatcher
 from repro.matching.parallel import ParallelMatcher, ParallelStats
+from repro.matching.process_shard import ProcessShardPool, ShardWorkerError
 
 __all__ = [
     "MatchConfig",
@@ -35,4 +41,6 @@ __all__ = [
     "GenericMatcher",
     "ParallelMatcher",
     "ParallelStats",
+    "ProcessShardPool",
+    "ShardWorkerError",
 ]

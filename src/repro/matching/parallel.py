@@ -36,11 +36,16 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.graph.labeled_graph import LabeledGraph
 from repro.graph.query_graph import QueryGraph
-from repro.matching.candidate_region import VertexPredicate, explore_candidate_region
+from repro.matching.candidate_region import VertexPredicate
 from repro.matching.config import MatchConfig
-from repro.matching.matching_order import determine_matching_order
-from repro.matching.subgraph_search import SearchStatistics, subgraph_search_iter
-from repro.matching.turbo import PreparedQuery, Solution, TurboMatcher, prepare_query
+from repro.matching.shard_protocol import (
+    StreamOutcome,
+    chunk_ranges,
+    merge_solution_batches,
+    run_chunk,
+    run_sequential,
+)
+from repro.matching.turbo import PreparedQuery, Solution, prepare_query
 
 
 @dataclass
@@ -94,12 +99,6 @@ class ParallelStats:
         return total / busiest
 
 
-#: Solutions per batch a worker pushes to the consumer: large enough to keep
-#: queue traffic negligible, small enough to bound worker memory and
-#: cancellation latency inside one combinatorial candidate region.
-_SOLUTION_BATCH_SIZE = 256
-
-
 class _MatchJob:
     """One query's worth of work, shared by every pool worker.
 
@@ -130,8 +129,8 @@ class _MatchJob:
         # vertices, which evens out skewed candidate-region sizes.
         self.chunks: "queue.Queue[Sequence[int]]" = queue.Queue()
         candidates = prepared.start_candidates
-        for begin in range(0, len(candidates), chunk_size):
-            self.chunks.put(candidates[begin:begin + chunk_size])
+        for begin, end in chunk_ranges(len(candidates), chunk_size):
+            self.chunks.put(candidates[begin:end])
 
         #: Bounded handoff of solution batches (backpressure: a slow consumer
         #: suspends the workers instead of accumulating the full result set).
@@ -168,55 +167,27 @@ class _MatchJob:
         return False
 
     def run(self, worker_index: int) -> None:
-        """Drain start-vertex chunks until the job is exhausted or stopped."""
+        """Drain start-vertex chunks until the job is exhausted or stopped.
+
+        The per-chunk matching core is the shared
+        :func:`~repro.matching.shard_protocol.run_chunk`, so thread and
+        process shards execute identical semantics.
+        """
         local_work = 0
         local_chunk_work: List[int] = []
-        order_cache = self.prepared.order_cache if self.config.reuse_matching_order else None
-        tree = self.prepared.tree
         try:
             while not self.stop.is_set():
                 try:
                     chunk = self.chunks.get_nowait()
                 except queue.Empty:
                     break
-                chunk_work_before = local_work
-                for start_data_vertex in chunk:
-                    # Per-region stop check: cancellation takes effect
-                    # between regions (and, below, between batches).
-                    if self.stop.is_set():
-                        break
-                    if self.root_predicate is not None and not self.root_predicate(
-                        start_data_vertex
-                    ):
-                        continue
-                    region = explore_candidate_region(
-                        self.graph, self.query, tree, self.config, start_data_vertex,
-                        self.predicates, self.prepared.requirements,
-                    )
-                    if region is None:
-                        continue
-                    local_work += region.size()
-                    order = determine_matching_order(tree, region, order_cache)
-                    search_stats = SearchStatistics()
-                    # Stream the region's solutions out in fixed-size
-                    # batches rather than materializing the whole region:
-                    # bounds worker memory on combinatorial regions and
-                    # lets the stop signal interrupt mid-region.
-                    batch: List[Solution] = []
-                    for solution in subgraph_search_iter(
-                        self.graph, self.query, tree, region, order, self.config,
-                        search_stats,
-                    ):
-                        batch.append(solution)
-                        if len(batch) >= _SOLUTION_BATCH_SIZE:
-                            if not self.emit(batch):
-                                batch = []
-                                break
-                            batch = []
-                    if batch:
-                        self.emit(batch)
-                    local_work += search_stats.recursions
-                local_chunk_work.append(local_work - chunk_work_before)
+                chunk_work = run_chunk(
+                    self.graph, self.config, self.query, self.prepared,
+                    self.predicates, self.root_predicate, chunk,
+                    emit=self.emit, stopped=self.stop.is_set,
+                )
+                local_work += chunk_work
+                local_chunk_work.append(chunk_work)
         except BaseException as exc:  # noqa: BLE001 - re-raised on the consumer side
             with self.lock:
                 self.errors.append(exc)
@@ -283,6 +254,11 @@ class ParallelMatcher:
         self._jobs: "queue.Queue[Optional[_MatchJob]]" = queue.Queue()
         self._threads: List[threading.Thread] = []
         self._finalizer: Optional[weakref.finalize] = None
+        #: Jobs whose consumer generator may still be alive.  close() must
+        #: stop them *before* joining the workers: a worker blocked on a full
+        #: bounded output queue only re-checks its job's stop event, so
+        #: joining without stopping active jobs would deadlock.
+        self._active_jobs: "weakref.WeakSet[_MatchJob]" = weakref.WeakSet()
 
     # ------------------------------------------------------------------- pool
     def _ensure_pool(self) -> None:
@@ -306,10 +282,18 @@ class ParallelMatcher:
         """Shut the worker pool down and join its threads.
 
         Safe to call multiple times; a later match transparently restarts
-        the pool.
+        the pool.  Any job still being consumed is stopped first (its
+        generator keeps draining already-delivered batches but the workers
+        cease searching), so closing the matcher mid-iteration cannot
+        deadlock on the bounded result queue.
         """
         if not self._threads:
             return
+        # Shutdown ordering: stop active jobs, then enqueue the sentinels,
+        # then join.  A worker blocked in a stop-aware put on a full output
+        # queue needs its job stopped before it can reach the sentinel.
+        for job in list(self._active_jobs):
+            job.stop.set()
         if self._finalizer is not None:
             self._finalizer()  # pushes one sentinel per worker, exactly once
             self._finalizer = None
@@ -346,6 +330,13 @@ class ParallelMatcher:
         per-query state so repeated queries skip start-vertex selection and
         query-tree construction.  ``self.last_stats`` is populated once the
         generator is exhausted.
+
+        Jobs are serialized per pool: starting a new match while an earlier
+        stream of this pool is still open *supersedes* the old stream,
+        which keeps whatever it already delivered and then ends — i.e. an
+        interleaved consumer sees a silently truncated (never corrupted)
+        result.  Fully consume, ``close()`` or drop a stream before the
+        next query if completeness matters.
         """
         start_time = time.perf_counter()
         predicates = vertex_predicates or {}
@@ -361,25 +352,18 @@ class ParallelMatcher:
             return
 
         if query.vertex_count() <= 1 or self.workers == 1:
-            # Single-vertex queries and the 1-worker case fall back to the
-            # sequential matcher (identical semantics, simpler bookkeeping).
-            matcher = TurboMatcher(self.graph, self.config)
-            solutions_count = 0
-            for solution in matcher.iter_match(
-                query, vertex_predicates=predicates, max_results=limit, prepared=prepared
-            ):
-                solutions_count += 1
-                yield solution
-            elapsed = (time.perf_counter() - start_time) * 1000.0
-            sequential = matcher.last_statistics
-            work = sequential.region_vertices + sequential.search.recursions
-            self.last_stats = ParallelStats(
-                workers=1,
-                chunk_size=self.chunk_size,
-                elapsed_ms=elapsed,
-                solutions=solutions_count,
-                per_worker_work=[work],
-                per_chunk_work=[work],
+            def publish(solutions_count: int, work: int, elapsed: float) -> None:
+                self.last_stats = ParallelStats(
+                    workers=1,
+                    chunk_size=self.chunk_size,
+                    elapsed_ms=elapsed,
+                    solutions=solutions_count,
+                    per_worker_work=[work],
+                    per_chunk_work=[work],
+                )
+
+            yield from run_sequential(
+                self.graph, self.config, query, predicates, limit, prepared, publish
             )
             return
 
@@ -390,31 +374,29 @@ class ParallelMatcher:
             self.chunk_size, self.workers,
         )
         self._ensure_pool()
+        # Jobs are serialized per pool: a predecessor whose stream was left
+        # open (suspended, not closed) would keep workers parked in its
+        # bounded output queue and starve this job — supersede it.  The old
+        # stream keeps whatever was already queued for it and then ends.
+        for previous in list(self._active_jobs):
+            if not previous.done.is_set():
+                previous.stop.set()
+                previous.done.wait()
+        self._active_jobs.add(job)
         for _ in range(self.workers):
             self._jobs.put(job)
 
-        solutions_count = 0
-        stopped_early = False
+        def poll(timeout: float) -> Optional[List[Solution]]:
+            """Next batch, [] for a wake token, None when nothing arrived."""
+            try:
+                batch = job.output.get(timeout=timeout) if timeout else job.output.get_nowait()
+            except queue.Empty:
+                return None
+            return batch if batch is not None else []
+
+        outcome = StreamOutcome()
         try:
-            while not stopped_early:
-                try:
-                    batch = job.output.get(timeout=0.05)
-                except queue.Empty:
-                    if not job.done.is_set():
-                        continue
-                    # All workers finished: drain whatever is left, then stop.
-                    try:
-                        batch = job.output.get_nowait()
-                    except queue.Empty:
-                        break
-                if batch is None:
-                    continue
-                for solution in batch:
-                    solutions_count += 1
-                    yield solution
-                    if limit is not None and solutions_count >= limit:
-                        stopped_early = True
-                        break
+            yield from merge_solution_batches(poll, job.done.is_set, limit, outcome)
         finally:
             # Reached on exhaustion, on the result limit, and on generator
             # abandonment: tell workers to stop after their current batch
@@ -427,7 +409,7 @@ class ParallelMatcher:
                 workers=self.workers,
                 chunk_size=self.chunk_size,
                 elapsed_ms=elapsed,
-                solutions=solutions_count,
+                solutions=outcome.delivered,
                 per_worker_work=job.per_worker_work,
                 per_chunk_work=job.per_chunk_work,
             )
@@ -437,5 +419,5 @@ class ParallelMatcher:
         # never have touched the failing region either — raising here would
         # make the same query non-deterministically raise or succeed
         # depending on worker timing.
-        if job.errors and not stopped_early:
+        if job.errors and not outcome.stopped_early:
             raise job.errors[0]

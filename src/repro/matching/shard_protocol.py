@@ -1,0 +1,191 @@
+"""The job/merge protocol shared by the thread and process shard pools.
+
+Both :class:`~repro.matching.parallel.ParallelMatcher` (threads) and
+:class:`~repro.matching.process_shard.ProcessShardPool` (processes)
+parallelize the same way, following Section 5.2 of the paper: the start
+data vertices of a prepared query are split into small dynamic chunks,
+workers repeatedly claim a chunk and run candidate-region exploration +
+subgraph search on it, and the consumer merges streamed solution batches.
+This module holds the three pieces that must behave *identically* in both
+pools so the two execution modes cannot drift apart semantically:
+
+* :func:`run_chunk` — the per-chunk matching core (regions, matching order,
+  batched solution emission, work accounting).  It is the only place either
+  pool runs the matcher, so a semantics fix lands in both at once.
+* :func:`chunk_ranges` — the dynamic-chunk partition of the start-candidate
+  list.
+* :func:`merge_solution_batches` — the consumer-side merge loop: poll for
+  batches, honour the result limit, drain after all workers finished.
+
+The pools differ only in transport (``queue.Queue`` + ``threading.Event``
+vs ``multiprocessing`` queues + a shared cancel counter), which they supply
+through the ``emit`` / ``stopped`` / ``poll`` / ``finished`` callables.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.query_graph import QueryGraph
+from repro.matching.candidate_region import VertexPredicate, explore_candidate_region
+from repro.matching.config import MatchConfig
+from repro.matching.matching_order import determine_matching_order
+from repro.matching.subgraph_search import SearchStatistics, subgraph_search_iter
+from repro.matching.turbo import PreparedQuery, Solution, TurboMatcher
+
+#: Solutions per batch a worker pushes to the consumer: large enough to keep
+#: queue traffic negligible, small enough to bound worker memory and
+#: cancellation latency inside one combinatorial candidate region.
+SOLUTION_BATCH_SIZE = 256
+
+#: How long the consumer waits for one batch before re-checking liveness.
+POLL_INTERVAL = 0.05
+
+
+def chunk_ranges(total: int, chunk_size: int) -> List[Tuple[int, int]]:
+    """Half-open index ranges partitioning ``range(total)`` into dynamic chunks.
+
+    Chunks are deliberately small (the paper's dynamic chunking): workers
+    claim them one at a time, which evens out skewed candidate-region sizes.
+    """
+    size = max(1, chunk_size)
+    return [(begin, min(begin + size, total)) for begin in range(0, total, size)]
+
+
+def run_chunk(
+    graph: LabeledGraph,
+    config: MatchConfig,
+    query: QueryGraph,
+    prepared: PreparedQuery,
+    predicates: Dict[int, VertexPredicate],
+    root_predicate: Optional[VertexPredicate],
+    chunk: Sequence[int],
+    emit: Callable[[List[Solution]], bool],
+    stopped: Callable[[], bool],
+) -> int:
+    """Match every start data vertex of one chunk, emitting solution batches.
+
+    This is the worker-side matching core of Algorithm 1's start-vertex loop
+    (lines 9–15), shared verbatim by the thread pool and the process pool.
+    ``emit`` delivers one batch to the consumer and returns False once the
+    consumer stopped (result limit reached / generator abandoned);
+    ``stopped`` is polled between candidate regions so cancellation takes
+    effect promptly.  Returns the chunk's work units (candidate-region
+    vertices explored plus search recursions), the load-balance quantity the
+    Figure 16 benchmark reports.
+    """
+    work = 0
+    order_cache = prepared.order_cache if config.reuse_matching_order else None
+    tree = prepared.tree
+    for start_data_vertex in chunk:
+        # Per-region stop check: cancellation takes effect between regions
+        # (and, below, between batches).
+        if stopped():
+            break
+        if root_predicate is not None and not root_predicate(start_data_vertex):
+            continue
+        region = explore_candidate_region(
+            graph, query, tree, config, start_data_vertex, predicates,
+            prepared.requirements,
+        )
+        if region is None:
+            continue
+        work += region.size()
+        order = determine_matching_order(tree, region, order_cache)
+        search_stats = SearchStatistics()
+        # Stream the region's solutions out in fixed-size batches rather
+        # than materializing the whole region: bounds worker memory on
+        # combinatorial regions and lets the stop signal interrupt
+        # mid-region.
+        batch: List[Solution] = []
+        for solution in subgraph_search_iter(
+            graph, query, tree, region, order, config, search_stats,
+        ):
+            batch.append(solution)
+            if len(batch) >= SOLUTION_BATCH_SIZE:
+                if not emit(batch):
+                    batch = []
+                    break
+                batch = []
+        if batch:
+            emit(batch)
+        work += search_stats.recursions
+    return work
+
+
+def run_sequential(
+    graph: LabeledGraph,
+    config: MatchConfig,
+    query: QueryGraph,
+    predicates: Dict[int, VertexPredicate],
+    limit: Optional[int],
+    prepared: Optional[PreparedQuery],
+    on_finish: Callable[[int, int, float], None],
+) -> Iterator[Solution]:
+    """The single-worker / single-vertex fallback shared by both pools.
+
+    Streams straight from the in-process :class:`TurboMatcher` (identical
+    semantics, simpler bookkeeping than a one-shard job); on exhaustion
+    calls ``on_finish(solutions, work, elapsed_ms)`` so the owning pool can
+    publish its statistics object.
+    """
+    start_time = time.perf_counter()
+    matcher = TurboMatcher(graph, config)
+    solutions_count = 0
+    for solution in matcher.iter_match(
+        query, vertex_predicates=predicates, max_results=limit, prepared=prepared
+    ):
+        solutions_count += 1
+        yield solution
+    elapsed = (time.perf_counter() - start_time) * 1000.0
+    sequential = matcher.last_statistics
+    work = sequential.region_vertices + sequential.search.recursions
+    on_finish(solutions_count, work, elapsed)
+
+
+@dataclass
+class StreamOutcome:
+    """How a merged solution stream ended (filled by the merge loop)."""
+
+    delivered: int = 0
+    #: True when the stream stopped because the result limit was reached (as
+    #: opposed to running to exhaustion).  Worker errors are only surfaced
+    #: after an exhaustive run — after an intentional early stop the
+    #: delivered solutions are complete and the sequential path would never
+    #: have touched the failing region either.
+    stopped_early: bool = False
+
+
+def merge_solution_batches(
+    poll: Callable[[float], Optional[List[Solution]]],
+    finished: Callable[[], bool],
+    limit: Optional[int],
+    outcome: StreamOutcome,
+) -> Iterator[Solution]:
+    """Merge worker solution batches into one stream, honouring ``limit``.
+
+    ``poll(timeout)`` returns the next batch, an empty list for a wake token
+    or consumed control message, or ``None`` when nothing arrived within the
+    timeout (it may also raise to propagate a worker failure).  ``finished``
+    turns True once every worker has left the job; batches already queued at
+    that point are drained before the stream ends (workers enqueue all output
+    before reporting completion, in FIFO order).
+    """
+    draining = False
+    while True:
+        batch = poll(0.0 if draining else POLL_INTERVAL)
+        if batch is None:
+            if draining:
+                return
+            if finished():
+                draining = True
+            continue
+        for solution in batch:
+            outcome.delivered += 1
+            yield solution
+            if limit is not None and outcome.delivered >= limit:
+                outcome.stopped_early = True
+                return

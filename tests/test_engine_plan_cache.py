@@ -132,7 +132,12 @@ class TestEnginePlanReuse:
         engine.query(PREFIX + "SELECT ?x WHERE { ?x ex:age ?a . FILTER (?a > 20) }")
         assert engine.plan_cache.misses == 2
 
-    def test_matching_order_is_cached_across_executions(self, engine):
+    def test_matching_order_is_cached_across_executions(self, small_rdf_store):
+        # Pinned to in-process execution: under process sharding the order is
+        # computed (and +REUSE-cached) inside each worker's plan copy, so the
+        # parent-side slot legitimately stays empty.
+        engine = TurboHomPPEngine(execution_mode="threads")
+        engine.load(small_rdf_store)
         query = PREFIX + "SELECT ?x ?y ?z WHERE { ?x ex:knows ?y . ?y ex:knows ?z . ?z ex:knows ?x . }"
         engine.query(query)
         solver = engine.bgp_solver()

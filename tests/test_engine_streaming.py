@@ -257,7 +257,9 @@ class TestEarlyTermination:
         assert engine.bgp_solver()._matcher.last_statistics.solutions <= 8
 
     def test_limit_stops_parallel_matching(self, fanout_store):
-        engine = TurboHomPPEngine(workers=3)
+        # Pinned to thread mode: the assertions below inspect the thread
+        # pool's stats object (the REPRO_EXECUTION_MODE sweep must not flip it).
+        engine = TurboHomPPEngine(workers=3, execution_mode="threads")
         engine.load(fanout_store)
         try:
             limited = engine.query(
@@ -271,7 +273,9 @@ class TestEarlyTermination:
             engine.close()
 
     def test_limit_parity_with_unbounded_prefix(self, fanout_store):
-        engine = TurboHomPPEngine()
+        # Prefix parity presumes a deterministic enumeration order, which
+        # only sequential execution guarantees — pin it.
+        engine = TurboHomPPEngine(execution_mode="threads")
         engine.load(fanout_store)
         unbounded = engine.query(PREFIX + "SELECT ?x ?y WHERE { ?x ex:knows ?y . }")
         limited = engine.query(PREFIX + "SELECT ?x ?y WHERE { ?x ex:knows ?y . } LIMIT 7")
@@ -347,7 +351,8 @@ class TestPoolReuse:
     """One engine-held worker pool must span queries."""
 
     def test_pool_instance_is_stable_across_queries(self, small_rdf_store):
-        engine = TurboHomPPEngine(workers=3)
+        # Pinned to thread mode: the test counts pool *threads* by name.
+        engine = TurboHomPPEngine(workers=3, execution_mode="threads")
         engine.load(small_rdf_store)
         try:
             solver = engine.bgp_solver()
