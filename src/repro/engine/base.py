@@ -40,12 +40,25 @@ EXECUTION_MODE_ENV = "REPRO_EXECUTION_MODE"
 #: at their sequential default (explicit ``workers=N`` arguments win).
 EXECUTION_WORKERS_ENV = "REPRO_EXECUTION_WORKERS"
 
+#: Supported result pipelines: ``"batch"`` moves columnar
+#: :class:`~repro.sparql.binding_batch.BindingBatch` objects end-to-end
+#: (late materialization, vectorized operators); ``"scalar"`` is the
+#: per-``Binding`` compatibility path every engine shares.
+RESULT_PIPELINES = ("batch", "scalar")
+
+#: Environment override for engines constructed without an explicit result
+#: pipeline — lets CI re-run an unmodified workload on the scalar
+#: compatibility path: ``REPRO_RESULT_PIPELINE=scalar``.
+RESULT_PIPELINE_ENV = "REPRO_RESULT_PIPELINE"
+
 
 def resolve_execution_mode(mode: Optional[str] = None) -> str:
     """Validate an execution mode, falling back to the environment override.
 
     An explicit ``mode`` argument always wins; ``None`` consults
     ``REPRO_EXECUTION_MODE`` and finally defaults to ``"threads"``.
+    A typo raises :class:`~repro.exceptions.EngineError` (a ``ValueError``)
+    at engine construction, never deep inside a pool.
     """
     if mode is None:
         mode = os.environ.get(EXECUTION_MODE_ENV, "").strip().lower() or "threads"
@@ -56,22 +69,53 @@ def resolve_execution_mode(mode: Optional[str] = None) -> str:
     return mode
 
 
+def resolve_result_pipeline(pipeline: Optional[str] = None) -> str:
+    """Validate a result pipeline, falling back to the environment override.
+
+    An explicit ``pipeline`` argument always wins; ``None`` consults
+    ``REPRO_RESULT_PIPELINE`` and finally defaults to ``"batch"``.
+    """
+    if pipeline is None:
+        pipeline = os.environ.get(RESULT_PIPELINE_ENV, "").strip().lower() or "batch"
+    if pipeline not in RESULT_PIPELINES:
+        raise EngineError(
+            f"unknown result pipeline {pipeline!r}; expected one of {RESULT_PIPELINES}"
+        )
+    return pipeline
+
+
+def validate_worker_count(workers: int) -> int:
+    """Reject non-positive / non-integral worker counts with a clear error."""
+    if not isinstance(workers, int) or isinstance(workers, bool) or workers < 1:
+        raise EngineError(
+            f"workers must be a positive integer, got {workers!r}"
+        )
+    return workers
+
+
 def resolve_worker_count(workers: int) -> int:
     """Apply the ``REPRO_EXECUTION_WORKERS`` override to a *default* count.
 
     Only engines left at the sequential default (``workers=1``) are
     affected, so explicitly parallel constructions keep their configured
     width while a CI sweep can still force every default engine parallel.
+    A malformed or non-positive override raises instead of being silently
+    coerced.
     """
     if workers != 1:
-        return workers
+        return validate_worker_count(workers)
     env = os.environ.get(EXECUTION_WORKERS_ENV, "").strip()
     if not env:
         return workers
     try:
-        return max(1, int(env))
+        parsed = int(env)
     except ValueError as error:
         raise EngineError(f"invalid {EXECUTION_WORKERS_ENV}={env!r}") from error
+    if parsed < 1:
+        raise EngineError(
+            f"invalid {EXECUTION_WORKERS_ENV}={env!r}: worker count must be positive"
+        )
+    return parsed
 
 
 class BGPSolver(abc.ABC):
@@ -98,6 +142,21 @@ class BGPSolver(abc.ABC):
 
     def supports_filter_pushdown(self) -> bool:
         """True when the solver makes use of ``cheap_filters``."""
+        return False
+
+    # ----------------------------------------------------------- batch surface
+    def supports_batches(self) -> bool:
+        """True when :meth:`solve_batches` streams columnar batches.
+
+        Solvers that return True must implement ``solve_batches(patterns,
+        cheap_filters, limit_hint)`` yielding
+        :class:`~repro.sparql.binding_batch.BindingBatch` objects with the
+        exact multiset semantics of :meth:`solve`; the evaluator then runs
+        its batch-aware operators and materializes terms only at the
+        :class:`~repro.sparql.results.ResultSet` boundary.  The default is
+        the scalar path, which keeps every baseline engine (and the
+        ``REPRO_RESULT_PIPELINE=scalar`` escape hatch) oracle-comparable.
+        """
         return False
 
 

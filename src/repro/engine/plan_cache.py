@@ -60,6 +60,7 @@ class PlanCache(Generic[PlanT]):
         self.maxsize = maxsize
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         self._lock = threading.Lock()
         self._plans: "OrderedDict[Hashable, PlanT]" = OrderedDict()
 
@@ -81,6 +82,7 @@ class PlanCache(Generic[PlanT]):
             self._plans.move_to_end(key)
             while len(self._plans) > self.maxsize:
                 self._plans.popitem(last=False)
+                self.evictions += 1
 
     def clear(self) -> None:
         """Drop every cached plan and reset the hit/miss counters."""
@@ -88,6 +90,7 @@ class PlanCache(Generic[PlanT]):
             self._plans.clear()
             self.hits = 0
             self.misses = 0
+            self.evictions = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -100,5 +103,5 @@ class PlanCache(Generic[PlanT]):
     def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
         return (
             f"PlanCache(size={len(self)}/{self.maxsize}, "
-            f"hits={self.hits}, misses={self.misses})"
+            f"hits={self.hits}, misses={self.misses}, evictions={self.evictions})"
         )

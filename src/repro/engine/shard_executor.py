@@ -27,6 +27,7 @@ from repro.graph.transform import GraphMapping
 from repro.matching.config import MatchConfig
 from repro.matching.parallel import ParallelStats
 from repro.matching.process_shard import ProcessShardPool
+from repro.matching.solution_batch import SolutionBatch
 from repro.matching.turbo import Solution
 
 
@@ -56,6 +57,12 @@ class ShardExecutor:
         """Statistics of the most recently completed component stream."""
         return self.pool.last_stats
 
+    def _plan_key(self, plan: QueryPlan, alternative_index: int, component_index: int):
+        if plan.fingerprint is None:
+            # Uncacheable plan: a fresh serial keeps worker caches untouched.
+            return None
+        return (plan.fingerprint, alternative_index, component_index)
+
     def iter_component(
         self,
         plan: QueryPlan,
@@ -69,17 +76,34 @@ class ShardExecutor:
         fans a cancel out to every shard.
         """
         component = plan.alternatives[alternative_index].components[component_index]
-        if plan.fingerprint is None:
-            # Uncacheable plan: a fresh serial keeps worker caches untouched.
-            plan_key = None
-        else:
-            plan_key = (plan.fingerprint, alternative_index, component_index)
         return self.pool.iter_match(
             component.query,
             vertex_predicates=component.pushdown,
             max_results=deep_limit,
             prepared=component.prepared,
-            plan_key=plan_key,
+            plan_key=self._plan_key(plan, alternative_index, component_index),
+        )
+
+    def iter_component_batches(
+        self,
+        plan: QueryPlan,
+        alternative_index: int,
+        component_index: int,
+        deep_limit: Optional[int] = None,
+    ) -> Iterator[SolutionBatch]:
+        """Stream one component's columnar batches from the shard workers.
+
+        The batch-pipeline twin of :meth:`iter_component`: batches arrive
+        through the per-worker shared-memory rings exactly as the workers
+        packed them, so the solver adopts whole columns without re-batching.
+        """
+        component = plan.alternatives[alternative_index].components[component_index]
+        return self.pool.iter_match_batches(
+            component.query,
+            vertex_predicates=component.pushdown,
+            max_results=deep_limit,
+            prepared=component.prepared,
+            plan_key=self._plan_key(plan, alternative_index, component_index),
         )
 
     def close(self) -> None:

@@ -42,14 +42,16 @@ fingerprint (see ``docs/execution_modes.md``).
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.engine.base import (
     BGPSolver,
     Engine,
     resolve_execution_mode,
+    resolve_result_pipeline,
     resolve_worker_count,
+    validate_worker_count,
 )
 from repro.engine.plan import AlternativePlan, ComponentPlan, QueryPlan, TypeVariableBinder, compile_query
 from repro.engine.plan_cache import PlanCache, bgp_fingerprint
@@ -62,12 +64,33 @@ from repro.graph.transform import (
 )
 from repro.matching.config import MatchConfig
 from repro.matching.parallel import ParallelMatcher
+from repro.matching.solution_batch import SolutionBatch
 from repro.matching.turbo import Solution, TurboMatcher
 from repro.rdf.store import TripleStore
 from repro.rdf.terms import Term
 from repro.sparql import expressions as expr
 from repro.sparql.ast import TriplePattern
+from repro.sparql.binding_batch import (
+    KIND_ID,
+    KIND_TERM,
+    BatchBuilder,
+    BindingBatch,
+    slice_batches,
+)
 from repro.sparql.results import Binding
+
+
+@dataclass
+class PipelineCounters:
+    """Cumulative result-pipeline counters, surfaced by :meth:`TurboEngine.stats`.
+
+    ``batches``/``solutions`` count what the solver pulled out of the
+    matcher layer (either pipeline); the shared-memory transport counters
+    live on the process pool and are merged in by the engine.
+    """
+
+    batches: int = 0
+    solutions: int = 0
 
 
 @dataclass
@@ -122,6 +145,8 @@ class TurboBGPSolver(BGPSolver):
         plan_cache: Optional[PlanCache] = None,
         pool: Optional[ParallelMatcher] = None,
         executor: Optional[ShardExecutor] = None,
+        result_pipeline: str = "batch",
+        counters: Optional[PipelineCounters] = None,
     ):
         self.graph = graph
         self.mapping = mapping
@@ -129,6 +154,8 @@ class TurboBGPSolver(BGPSolver):
         self.type_aware = type_aware
         self.workers = workers
         self.plan_cache = plan_cache
+        self.result_pipeline = result_pipeline
+        self.counters = counters if counters is not None else PipelineCounters()
         # The sequential matcher is stateless between calls and shared by
         # every component stream; the parallel pool (persistent worker
         # threads) or shard executor (persistent worker processes) is
@@ -141,6 +168,9 @@ class TurboBGPSolver(BGPSolver):
 
     def supports_filter_pushdown(self) -> bool:
         return True
+
+    def supports_batches(self) -> bool:
+        return self.result_pipeline == "batch"
 
     # ------------------------------------------------------------------ solve
     def solve(
@@ -269,7 +299,378 @@ class TurboBGPSolver(BGPSolver):
                 prepared=component.prepared,
             )
         for solution in solutions:
+            self.counters.solutions += 1
             yield self._decode_solution(component, solution)
+
+    # ------------------------------------------------------- batch execution
+    def solve_batches(
+        self,
+        patterns: Sequence[TriplePattern],
+        cheap_filters: Sequence[expr.Expression] = (),
+        limit_hint: Optional[int] = None,
+    ) -> Iterator[BindingBatch]:
+        """Stream the bindings of a basic graph pattern as columnar batches.
+
+        The batch twin of :meth:`solve` (identical multiset semantics): the
+        matcher's :class:`~repro.matching.solution_batch.SolutionBatch`
+        columns are adopted as id columns of the emitted
+        :class:`~repro.sparql.binding_batch.BindingBatch` objects, so on the
+        hot path (one component, no predicate/type-variable expansion) no
+        per-solution object is ever built and no id is decoded — terms
+        materialize at the :class:`~repro.sparql.results.ResultSet`
+        boundary.
+        """
+        plan = self.plan(patterns, cheap_filters)
+        deep_limit = limit_hint if plan.supports_direct_limit() else None
+        stream = self._execute_batches(plan, deep_limit)
+        if limit_hint is not None:
+            stream = slice_batches(stream, 0, limit_hint)
+        return stream
+
+    @staticmethod
+    def _term_variables(plan: QueryPlan) -> Set[str]:
+        """Variables that any alternative binds in the *term* domain.
+
+        Predicate variables, ``rdf:type ?t`` type variables and forced
+        bindings produce RDF terms, not vertex ids.  A variable that is
+        term-bound in one alternative but vertex-bound in another must be
+        decoded everywhere, so the whole solve stream stays kind-consistent
+        per variable (what lets the evaluator compare raw columns).
+        """
+        names: Set[str] = set()
+        for alternative in plan.alternatives:
+            names.update(alternative.forced)
+            for binder in alternative.type_binders:
+                names.add(binder.type_variable)
+            for component in alternative.components:
+                names.update(component.predicate_variable_edges)
+        return names
+
+    def _execute_batches(
+        self, plan: QueryPlan, deep_limit: Optional[int]
+    ) -> Iterator[BindingBatch]:
+        """Stream the plan's alternatives as batches (lazy concatenation)."""
+        term_variables = self._term_variables(plan)
+        for alternative_index, alternative in enumerate(plan.alternatives):
+            expansion_free = (
+                not alternative.forced
+                and not alternative.type_binders
+                and all(
+                    not component.predicate_variable_edges
+                    for component in alternative.components
+                )
+            )
+            if expansion_free and len(alternative.components) == 1:
+                # Hot path: id columns flow straight through.
+                for batch, _ in self._component_batches(
+                    plan, alternative_index, 0, deep_limit, term_variables
+                ):
+                    yield batch
+                continue
+            stream = self._stream_component_batches(
+                plan, alternative_index, term_variables
+            )
+            if expansion_free:
+                for batch, _ in stream:
+                    yield batch
+            else:
+                yield from self._expand_batches(stream, alternative, term_variables)
+
+    def _component_batches(
+        self,
+        plan: QueryPlan,
+        alternative_index: int,
+        component_index: int,
+        deep_limit: Optional[int],
+        term_variables: Set[str],
+    ) -> Iterator[Tuple[BindingBatch, Optional[List[Dict[str, List[Term]]]]]]:
+        """One component's matcher batches, adopted into binding batches.
+
+        Yields ``(batch, choices)`` where ``choices`` carries the pending
+        predicate-variable candidate terms per row (None when the component
+        has none) — the batch analogue of :class:`MatchedSolution`.
+        """
+        component = plan.alternatives[alternative_index].components[component_index]
+        query = component.query
+        if self._executor is not None and query.vertex_count() > 1:
+            solution_batches: Iterable[SolutionBatch] = (
+                self._executor.iter_component_batches(
+                    plan, alternative_index, component_index, deep_limit
+                )
+            )
+        elif self._pool is not None and query.vertex_count() > 1:
+            solution_batches = self._pool.iter_match_batches(
+                query,
+                vertex_predicates=component.pushdown,
+                max_results=deep_limit,
+                prepared=component.prepared,
+            )
+        else:
+            solution_batches = self._matcher.iter_match_batches(
+                query,
+                vertex_predicates=component.pushdown,
+                max_results=deep_limit,
+                prepared=component.prepared,
+            )
+        for solution_batch in solution_batches:
+            self.counters.batches += 1
+            self.counters.solutions += solution_batch.rows
+            yield self._adopt_solution_batch(component, solution_batch, term_variables)
+
+    def _adopt_solution_batch(
+        self,
+        component: ComponentPlan,
+        solution_batch: SolutionBatch,
+        term_variables: Set[str],
+    ) -> Tuple[BindingBatch, Optional[List[Dict[str, List[Term]]]]]:
+        """Wrap matcher columns as binding columns (zero-copy for id columns)."""
+        variables: List[str] = []
+        columns: Dict[str, object] = {}
+        kinds: Dict[str, str] = {}
+        for vertex in component.query.vertices:
+            if not vertex.is_variable:
+                continue
+            name = vertex.name
+            column = solution_batch.columns[vertex.index]
+            variables.append(name)
+            if name in term_variables:
+                # Term-bound elsewhere in the plan: decode the whole column
+                # once so the stream stays kind-consistent for this name.
+                columns[name] = self.mapping.terms_for_vertices(column)
+                kinds[name] = KIND_TERM
+            else:
+                columns[name] = column
+                kinds[name] = KIND_ID
+        batch = BindingBatch(
+            variables, columns, kinds, solution_batch.rows, self.mapping.term_for_vertex
+        )
+        if not component.predicate_variable_edges:
+            return batch, None
+        choices = [
+            self._solution_choices(component, solution_batch, row)
+            for row in range(solution_batch.rows)
+        ]
+        return batch, choices
+
+    def _solution_choices(
+        self, component: ComponentPlan, solution_batch: SolutionBatch, row: int
+    ) -> Dict[str, List[Term]]:
+        """Predicate-variable candidate terms of one solution row.
+
+        Mirrors the choice computation of :meth:`_decode_solution`, reading
+        the matched endpoints out of the columnar batch.
+        """
+        columns = solution_batch.columns
+        choices: Dict[str, List[Term]] = {}
+        for name, endpoints in component.predicate_variable_edges.items():
+            allowed: Optional[set] = None
+            for source, target in endpoints:
+                labels = set(
+                    self.graph.edge_labels_between(columns[source][row], columns[target][row])
+                )
+                allowed = labels if allowed is None else (allowed & labels)
+            choices[name] = sorted(
+                (self.mapping.term_for_edge_label(label) for label in (allowed or set())),
+                key=str,
+            )
+        return choices
+
+    def _stream_component_batches(
+        self, plan: QueryPlan, alternative_index: int, term_variables: Set[str]
+    ) -> Iterator[Tuple[BindingBatch, Optional[List[Dict[str, List[Term]]]]]]:
+        """Batch cross product of the alternative's connected components.
+
+        Mirrors :meth:`_stream_components`: the first component streams, the
+        rest are materialized once and checked for emptiness up front.
+        Components bind disjoint variables, so merged rows are plain column
+        concatenation; shared predicate-variable *choices* intersect via
+        :func:`_merge_choices`.
+        """
+        components = plan.alternatives[alternative_index].components
+        if not components:
+            yield BindingBatch.unit(self.mapping.term_for_vertex), None
+            return
+        if len(components) == 1:
+            yield from self._component_batches(
+                plan, alternative_index, 0, None, term_variables
+            )
+            return
+        rest: List[List[Tuple[BindingBatch, int, Optional[Dict[str, List[Term]]]]]] = []
+        for component_index in range(1, len(components)):
+            rows: List[Tuple[BindingBatch, int, Optional[Dict[str, List[Term]]]]] = []
+            for batch, choices in self._component_batches(
+                plan, alternative_index, component_index, None, term_variables
+            ):
+                for row in range(batch.rows):
+                    rows.append((batch, row, choices[row] if choices else None))
+            if not rows:
+                return
+            rest.append(rows)
+        for first_batch, first_choices in self._component_batches(
+            plan, alternative_index, 0, None, term_variables
+        ):
+            variables = list(first_batch.variables)
+            kinds = dict(first_batch.kinds)
+            for rows in rest:
+                part = rows[0][0]
+                for var in part.variables:
+                    if var not in kinds:
+                        variables.append(var)
+                        kinds[var] = part.kinds[var]
+            builder = BatchBuilder(variables, kinds, self.mapping.term_for_vertex)
+            merged_choices: Optional[List[Dict[str, List[Term]]]] = (
+                []
+                if first_choices is not None or any(
+                    rows[0][2] is not None for rows in rest
+                )
+                else None
+            )
+            for row in range(first_batch.rows):
+                base = [first_batch.raw(var, row) for var in first_batch.variables]
+                base_choice = first_choices[row] if first_choices else None
+                for parts in itertools.product(*rest):
+                    values = list(base)
+                    choices = dict(base_choice) if base_choice else None
+                    for part_batch, part_row, part_choice in parts:
+                        values.extend(
+                            part_batch.raw(var, part_row)
+                            for var in part_batch.variables
+                        )
+                        if part_choice:
+                            choices = _merge_choices(choices, part_choice)
+                    builder.append(values)
+                    if merged_choices is not None:
+                        merged_choices.append(choices or {})
+            if builder.rows:
+                yield builder.batch(), merged_choices
+
+    def _expand_batches(
+        self,
+        stream: Iterator[Tuple[BindingBatch, Optional[List[Dict[str, List[Term]]]]]],
+        alternative: AlternativePlan,
+        term_variables: Set[str],
+    ) -> Iterator[BindingBatch]:
+        """Row-multiplying decorators of one alternative, batch-wise.
+
+        Ports predicate-choice expansion, type-variable expansion and forced
+        bindings onto columnar rows: vertex variables stay raw ids, the
+        expansion variables (all in ``term_variables``) append term columns.
+        """
+        choice_names: Set[str] = set()
+        for component in alternative.components:
+            choice_names.update(component.predicate_variable_edges)
+        extra = sorted(
+            set(itertools.chain(
+                choice_names,
+                (binder.type_variable for binder in alternative.type_binders),
+                alternative.forced,
+            ))
+        )
+        for batch, choices in stream:
+            variables = list(batch.variables)
+            kinds = dict(batch.kinds)
+            for name in extra:
+                if name not in kinds:
+                    variables.append(name)
+                    kinds[name] = KIND_TERM
+            builder = BatchBuilder(variables, kinds, self.mapping.term_for_vertex)
+            for row in range(batch.rows):
+                base = {var: batch.raw(var, row) for var in batch.variables}
+                rows = [base]
+                if choices is not None:
+                    rows = self._expand_row_choices(base, choices[row])
+                if alternative.type_binders:
+                    rows = [
+                        expanded
+                        for current in rows
+                        for expanded in self._expand_row_types(
+                            current, alternative.type_binders
+                        )
+                    ]
+                for current in rows:
+                    if alternative.forced:
+                        conflict = any(
+                            current.get(name) not in (None, value)
+                            for name, value in alternative.forced.items()
+                        )
+                        if conflict:
+                            continue
+                        current = dict(current)
+                        current.update(alternative.forced)
+                    builder.append([current.get(var) for var in variables])
+            if builder.rows:
+                yield builder.batch()
+
+    @staticmethod
+    def _expand_row_choices(
+        base: Dict[str, Any], choices: Dict[str, List[Term]]
+    ) -> List[Dict[str, Any]]:
+        """Expand one row's pending predicate-variable choices.
+
+        The row analogue of :meth:`_expand_predicate_choices`; existing
+        bindings constrain the expansion (choice variables are always in the
+        term domain, see :meth:`_term_variables`).
+        """
+        if not choices:
+            return [base]
+        names = sorted(choices)
+        pools = []
+        for name in names:
+            existing = base.get(name)
+            terms = choices[name]
+            if existing is not None:
+                terms = [term for term in terms if term == existing]
+            pools.append(terms)
+        expanded = []
+        for combo in itertools.product(*pools):
+            row = dict(base)
+            row.update(zip(names, combo))
+            expanded.append(row)
+        return expanded
+
+    def _expand_row_types(
+        self, row: Dict[str, Any], binders: Sequence[TypeVariableBinder]
+    ) -> List[Dict[str, Any]]:
+        """Bind one row's type variables from vertex label sets.
+
+        The row analogue of :meth:`_expand_type_variables`, with one batch
+        bonus: an id-domain subject *is* its data vertex, so no term →
+        dictionary → vertex round trip is needed.
+        """
+        results = [row]
+        for binder in binders:
+            next_results: List[Dict[str, Any]] = []
+            for current in results:
+                data_vertex = self._row_data_vertex(binder, current)
+                if data_vertex is None or data_vertex < 0:
+                    continue
+                labels = self.graph.vertex_labels(data_vertex)
+                existing = current.get(binder.type_variable)
+                for label in sorted(labels):
+                    type_term = self.mapping.term_for_label(label)
+                    if existing is not None and existing != type_term:
+                        continue
+                    extended = dict(current)
+                    extended[binder.type_variable] = type_term
+                    next_results.append(extended)
+            results = next_results
+        return results
+
+    def _row_data_vertex(
+        self, binder: TypeVariableBinder, row: Dict[str, Any]
+    ) -> Optional[int]:
+        """The data vertex answering a type binder for one columnar row."""
+        if not binder.subject_is_variable:
+            return binder.subject_vertex_id
+        value = row.get(binder.subject_name)
+        if value is None:
+            return None
+        if isinstance(value, int):
+            return value  # id-domain column: already the data vertex
+        node_id = self.mapping.dictionary.lookup_node(value)
+        if node_id is None:
+            return None
+        return self.mapping.vertex_for_node(node_id)
 
     # -------------------------------------------------------------- decoding
     def _decode_solution(self, component: ComponentPlan, solution: Solution) -> MatchedSolution:
@@ -395,6 +796,7 @@ class TurboEngine(Engine):
         workers: int = 1,
         plan_cache_size: int = 128,
         execution_mode: Optional[str] = None,
+        result_pipeline: Optional[str] = None,
     ):
         super().__init__()
         self.type_aware = type_aware
@@ -403,7 +805,15 @@ class TurboEngine(Engine):
         #: threads) or ``"processes"`` (shard workers over a shared-memory
         #: graph export).  ``None`` defers to ``REPRO_EXECUTION_MODE``;
         #: ``workers`` left at 1 defers to ``REPRO_EXECUTION_WORKERS``.
+        #: All three knobs are validated here, at construction — a typo or a
+        #: non-positive worker count raises a ValueError immediately instead
+        #: of failing deep inside a worker pool.
         self.execution_mode = resolve_execution_mode(execution_mode)
+        #: How results move above the matcher: ``"batch"`` (columnar
+        #: BindingBatch pipeline, the default) or ``"scalar"`` (per-Binding
+        #: compatibility path).  ``None`` defers to ``REPRO_RESULT_PIPELINE``.
+        self.result_pipeline = resolve_result_pipeline(result_pipeline)
+        validate_worker_count(workers)
         # The env worker override accompanies the env mode sweep: an engine
         # that pins its mode explicitly keeps its configured width.
         if execution_mode is None:
@@ -421,6 +831,9 @@ class TurboEngine(Engine):
         self.plan_cache: Optional[PlanCache] = (
             PlanCache(plan_cache_size) if plan_cache_size else None
         )
+        #: Result-pipeline counters (batches/solutions moved), shared with
+        #: the solver and reported by :meth:`stats`.
+        self.pipeline_counters = PipelineCounters()
         self._solver: Optional[TurboBGPSolver] = None
         self._pool: Optional[ParallelMatcher] = None
         self._executor: Optional[ShardExecutor] = None
@@ -460,11 +873,58 @@ class TurboEngine(Engine):
                 plan_cache=self.plan_cache,
                 pool=self._pool,
                 executor=self._executor,
+                result_pipeline=self.result_pipeline,
+                counters=self.pipeline_counters,
             )
         # Keep the memoized solver honest if the engine's cache was swapped
         # or disabled after the first query.
         self._solver.plan_cache = self.plan_cache
+        self._solver.result_pipeline = self.result_pipeline
         return self._solver
+
+    def stats(self) -> Dict[str, object]:
+        """Operational counters: plan cache, result pipeline, shard transport.
+
+        One call answers what benchmarks used to re-derive by hand:
+
+        * ``plan_cache`` — hits / misses / evictions / current size (None
+          when caching is disabled),
+        * ``pipeline`` — the active result pipeline plus batches/solutions
+          pulled out of the matcher layer,
+        * ``transport`` — in process mode, how results crossed the worker
+          boundary: ring batches vs pickled queue fallbacks and the bytes
+          moved through shared memory (None in threads mode, where results
+          never leave the address space).
+        """
+        plan_cache: Optional[Dict[str, int]] = None
+        if self.plan_cache is not None:
+            plan_cache = {
+                "size": len(self.plan_cache),
+                "capacity": self.plan_cache.maxsize,
+                "hits": self.plan_cache.hits,
+                "misses": self.plan_cache.misses,
+                "evictions": self.plan_cache.evictions,
+            }
+        transport: Optional[Dict[str, int]] = None
+        if self._executor is not None:
+            shard = self._executor.pool.transport
+            transport = {
+                "ring_batches": shard.ring_batches,
+                "queue_batches": shard.queue_batches,
+                "shm_bytes": shard.shm_bytes,
+                "solutions": shard.solutions,
+            }
+        return {
+            "execution_mode": self.execution_mode,
+            "workers": self.workers,
+            "plan_cache": plan_cache,
+            "pipeline": {
+                "mode": self.result_pipeline,
+                "batches": self.pipeline_counters.batches,
+                "solutions": self.pipeline_counters.solutions,
+            },
+            "transport": transport,
+        }
 
     def close(self) -> None:
         """Shut down the engine-held worker pool / shard executor (if any)."""
@@ -485,12 +945,20 @@ class TurboHomEngine(TurboEngine):
 
     name = "TurboHOM"
 
-    def __init__(self, workers: int = 1, execution_mode: Optional[str] = None):
+    def __init__(
+        self,
+        workers: int = 1,
+        execution_mode: Optional[str] = None,
+        result_pipeline: Optional[str] = None,
+        plan_cache_size: int = 128,
+    ):
         super().__init__(
             type_aware=False,
             config=MatchConfig.homomorphism_baseline(),
             workers=workers,
             execution_mode=execution_mode,
+            result_pipeline=result_pipeline,
+            plan_cache_size=plan_cache_size,
         )
 
 
@@ -504,10 +972,14 @@ class TurboHomPPEngine(TurboEngine):
         config: Optional[MatchConfig] = None,
         workers: int = 1,
         execution_mode: Optional[str] = None,
+        result_pipeline: Optional[str] = None,
+        plan_cache_size: int = 128,
     ):
         super().__init__(
             type_aware=True,
             config=config if config is not None else MatchConfig.turbo_hom_pp(),
             workers=workers,
             execution_mode=execution_mode,
+            result_pipeline=result_pipeline,
+            plan_cache_size=plan_cache_size,
         )

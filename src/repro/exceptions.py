@@ -44,5 +44,12 @@ class GraphError(ReproError):
     """Raised for malformed graph construction or transformation input."""
 
 
-class EngineError(ReproError):
-    """Raised when an engine is used before data has been loaded, or misused."""
+class EngineError(ReproError, ValueError):
+    """Raised when an engine is used before data has been loaded, or misused.
+
+    Also a :class:`ValueError`: engine misconfiguration (an unknown
+    execution mode or result pipeline, a non-positive worker count, a
+    malformed environment override) is a bad value, and callers validating
+    configuration should be able to catch it as one without importing the
+    library's hierarchy.
+    """

@@ -66,6 +66,18 @@ class GraphMapping:
         """Decode a graph vertex back to its RDF term."""
         return self.dictionary.decode_node(self.node_for_vertex(vertex))
 
+    def terms_for_vertices(self, vertices: Iterable[int]) -> List[Term]:
+        """Bulk-decode a whole id column to terms in one pass.
+
+        The batch pipeline's materialization primitive: one call decodes an
+        entire :class:`~repro.sparql.binding_batch.BindingBatch` column at
+        the results boundary instead of one dictionary round trip per cell.
+        """
+        if self.vertex_to_node is None:
+            return self.dictionary.decode_nodes(vertices)
+        vertex_to_node = self.vertex_to_node
+        return self.dictionary.decode_nodes(vertex_to_node[v] for v in vertices)
+
     def term_for_label(self, label: int) -> Term:
         """Decode a vertex label back to its RDF term (class IRI)."""
         return self.dictionary.decode_node(label)

@@ -15,9 +15,14 @@ The package implements the paper's algorithm family:
   processes attached to a shared-memory CSR export (multi-core matching).
 * :mod:`~repro.matching.shard_protocol` — the job/merge protocol both pools
   share, so thread and process execution stay semantically identical.
+* :mod:`~repro.matching.solution_batch` — the columnar batch the whole
+  result pipeline moves, and :mod:`~repro.matching.result_ring` — the
+  shared-memory ring transporting it across process shards without
+  pickling.
 """
 
 from repro.matching.config import MatchConfig
+from repro.matching.solution_batch import SOLUTION_BATCH_SIZE, SolutionBatch
 from repro.matching.turbo import (
     PreparedQuery,
     TurboMatcher,
@@ -28,10 +33,17 @@ from repro.matching.turbo import (
 )
 from repro.matching.generic import GenericMatcher
 from repro.matching.parallel import ParallelMatcher, ParallelStats
-from repro.matching.process_shard import ProcessShardPool, ShardWorkerError
+from repro.matching.process_shard import (
+    ProcessShardPool,
+    ShardTransportStats,
+    ShardWorkerError,
+)
 
 __all__ = [
     "MatchConfig",
+    "SolutionBatch",
+    "SOLUTION_BATCH_SIZE",
+    "ShardTransportStats",
     "PreparedQuery",
     "TurboMatcher",
     "prepare_query",

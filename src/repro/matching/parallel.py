@@ -16,13 +16,15 @@ reports the *work-partition speedup* ``total work / max per-worker work``
 the load-balance quantity Figure 16 actually demonstrates.  Both metrics are
 reported by the Figure 16 benchmark.
 
-The primitive API is :meth:`ParallelMatcher.iter_match`: workers push their
-per-chunk solution batches onto a queue and the generator drains it, so the
-consumer streams solutions while workers are still searching, without a
-full result list ever being materialized by the matcher itself.  A
-``max_results`` limit (threaded down from the engine's ``limit_hint``) or an
-abandoned generator sets the job's stop event, so workers cease searching
-instead of enumerating embeddings nobody will read.
+The primitive API is :meth:`ParallelMatcher.iter_match_batches`: workers
+push columnar :class:`~repro.matching.solution_batch.SolutionBatch` objects
+onto a queue and the generator drains it, so the consumer streams solutions
+while workers are still searching, without a full result list ever being
+materialized by the matcher itself (:meth:`iter_match` is the row-iterating
+scalar adapter over the same stream).  A ``max_results`` limit (threaded
+down from the engine's ``limit_hint``) or an abandoned generator sets the
+job's stop event, so workers cease searching instead of enumerating
+embeddings nobody will read.
 """
 
 from __future__ import annotations
@@ -43,8 +45,9 @@ from repro.matching.shard_protocol import (
     chunk_ranges,
     merge_solution_batches,
     run_chunk,
-    run_sequential,
+    run_sequential_batches,
 )
+from repro.matching.solution_batch import SolutionBatch
 from repro.matching.turbo import PreparedQuery, Solution, prepare_query
 
 
@@ -132,11 +135,11 @@ class _MatchJob:
         for begin, end in chunk_ranges(len(candidates), chunk_size):
             self.chunks.put(candidates[begin:end])
 
-        #: Bounded handoff of solution batches (backpressure: a slow consumer
-        #: suspends the workers instead of accumulating the full result set).
-        #: ``None`` entries are wake tokens a finishing worker leaves so the
-        #: consumer re-checks job completion promptly.
-        self.output: "queue.Queue[Optional[List[Solution]]]" = queue.Queue(
+        #: Bounded handoff of columnar solution batches (backpressure: a slow
+        #: consumer suspends the workers instead of accumulating the full
+        #: result set).  ``None`` entries are wake tokens a finishing worker
+        #: leaves so the consumer re-checks job completion promptly.
+        self.output: "queue.Queue[Optional[SolutionBatch]]" = queue.Queue(
             maxsize=max(2 * expected_workers, 8)
         )
         #: Set when the consumer stops early (result limit reached or the
@@ -156,7 +159,7 @@ class _MatchJob:
         self.done = threading.Event()
 
     # ------------------------------------------------------------- worker side
-    def emit(self, batch: List[Solution]) -> bool:
+    def emit(self, batch: SolutionBatch) -> bool:
         """Stop-aware bounded put; False once the consumer stopped."""
         while not self.stop.is_set():
             try:
@@ -323,13 +326,26 @@ class ParallelMatcher:
         max_results: Optional[int] = None,
         prepared: Optional[PreparedQuery] = None,
     ) -> Iterator[Solution]:
-        """Stream solutions as the pool workers produce them.
+        """Stream solutions one at a time (row adapter over the batches)."""
+        for batch in self.iter_match_batches(
+            query, vertex_predicates, max_results, prepared
+        ):
+            yield from batch.iter_rows()
+
+    def iter_match_batches(
+        self,
+        query: QueryGraph,
+        vertex_predicates: Optional[Dict[int, VertexPredicate]] = None,
+        max_results: Optional[int] = None,
+        prepared: Optional[PreparedQuery] = None,
+    ) -> Iterator[SolutionBatch]:
+        """Stream columnar solution batches as the pool workers produce them.
 
         ``max_results`` (or the config's ``max_results``) stops workers once
-        that many solutions were delivered; ``prepared`` supplies precompiled
-        per-query state so repeated queries skip start-vertex selection and
-        query-tree construction.  ``self.last_stats`` is populated once the
-        generator is exhausted.
+        that many solutions were delivered (the final batch is sliced to the
+        limit); ``prepared`` supplies precompiled per-query state so repeated
+        queries skip start-vertex selection and query-tree construction.
+        ``self.last_stats`` is populated once the generator is exhausted.
 
         Jobs are serialized per pool: starting a new match while an earlier
         stream of this pool is still open *supersedes* the old stream,
@@ -362,7 +378,7 @@ class ParallelMatcher:
                     per_chunk_work=[work],
                 )
 
-            yield from run_sequential(
+            yield from run_sequential_batches(
                 self.graph, self.config, query, predicates, limit, prepared, publish
             )
             return
@@ -386,13 +402,13 @@ class ParallelMatcher:
         for _ in range(self.workers):
             self._jobs.put(job)
 
-        def poll(timeout: float) -> Optional[List[Solution]]:
-            """Next batch, [] for a wake token, None when nothing arrived."""
+        def poll(timeout: float) -> Optional[SolutionBatch]:
+            """Next batch, a zero-row batch for a wake token, None when idle."""
             try:
                 batch = job.output.get(timeout=timeout) if timeout else job.output.get_nowait()
             except queue.Empty:
                 return None
-            return batch if batch is not None else []
+            return batch if batch is not None else SolutionBatch.empty()
 
         outcome = StreamOutcome()
         try:

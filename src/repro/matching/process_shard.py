@@ -18,11 +18,18 @@ exactly once:
   (canonical plan fingerprint) is seen and rehydrated into a per-worker LRU
   plan cache; repeated queries ship only the fingerprint;
 * **work** — start-candidate index ranges are distributed through one shared
-  chunk queue (the paper's dynamic chunking), solution batches stream back
-  through a bounded result queue (backpressure), a shared cancel counter
-  fans ``limit_hint`` / abandoned-generator stops out to every shard, and a
+  chunk queue (the paper's dynamic chunking), a shared cancel counter fans
+  ``limit_hint`` / abandoned-generator stops out to every shard, and a
   worker crash or exception is propagated to the consumer instead of
-  hanging it.
+  hanging it;
+* **results** — each worker owns a :class:`~repro.matching.result_ring.
+  ResultRing`: columnar :class:`~repro.matching.solution_batch.
+  SolutionBatch` columns are written straight into the worker's
+  shared-memory ring and only a constant-size control tuple crosses the
+  result queue, so id solutions are **never pickled per solution** (or per
+  batch).  A batch too large for the ring falls back to the old
+  pickled-batch queue path; :attr:`ProcessShardPool.transport` counts both
+  paths and the bytes moved through shared memory.
 
 The matching semantics per chunk and the consumer-side merge loop are the
 same :mod:`repro.matching.shard_protocol` code the thread pool runs, so the
@@ -53,13 +60,15 @@ from repro.graph.query_graph import QueryGraph
 from repro.matching.candidate_region import VertexPredicate
 from repro.matching.config import MatchConfig
 from repro.matching.parallel import ParallelStats
+from repro.matching.result_ring import DEFAULT_RING_SLOTS, ResultRing, RingWriter
 from repro.matching.shard_protocol import (
     StreamOutcome,
     chunk_ranges,
     merge_solution_batches,
     run_chunk,
-    run_sequential,
+    run_sequential_batches,
 )
+from repro.matching.solution_batch import SLOT_BYTES, SolutionBatch
 from repro.matching.turbo import PreparedQuery, Solution, prepare_query
 
 #: How many rehydrated payloads each worker keeps, mirrored by the pool's
@@ -78,6 +87,22 @@ class ShardWorkerError(RuntimeError):
     its exception could not be pickled back; carries the worker-side
     traceback text when one was captured.
     """
+
+
+@dataclass
+class ShardTransportStats:
+    """Cumulative counters of how shard results crossed the process boundary.
+
+    ``ring_batches`` moved through the shared-memory ring (no solution
+    pickling at all, ``shm_bytes`` of column data), ``queue_batches`` fell
+    back to the pickled-batch queue path (ring overflow / ring disabled).
+    The engine surfaces these through :meth:`TurboEngine.stats`.
+    """
+
+    ring_batches: int = 0
+    queue_batches: int = 0
+    shm_bytes: int = 0
+    solutions: int = 0
 
 
 @dataclass
@@ -159,15 +184,20 @@ def _shard_worker_main(
     chunks,
     results,
     cancel,
+    ring_manifest: Optional[Tuple[str, int]],
+    ring_free,
 ) -> None:
     """Long-lived worker process: attach the graph once, then serve jobs.
 
     The control queue is per worker (job headers are broadcast, ``None`` is
     the shutdown sentinel); the chunk queue is shared for dynamic load
-    balancing.  The worker intentionally never unlinks the shared segment —
-    the exporting process owns it.
+    balancing.  ``ring_manifest``/``ring_free`` describe this worker's
+    result ring (``None`` disables it and forces the queue fallback).  The
+    worker intentionally never unlinks the shared segments — the exporting
+    process owns them.
     """
     graph, shm = LabeledGraph.attach_shared(manifest)
+    ring = RingWriter(ring_manifest, ring_free) if ring_manifest is not None else None
     context = pickle.loads(context_bytes) if context_bytes is not None else None
     cache: "OrderedDict[Any, ShardPayload]" = OrderedDict()
     try:
@@ -194,15 +224,34 @@ def _shard_worker_main(
             def stopped(job_id=job_id) -> bool:
                 return cancel.value >= job_id
 
-            def emit(batch: List[Solution], job_id=job_id, stopped=stopped) -> bool:
+            def put_bounded(message, stopped=stopped) -> bool:
                 """Cancel-aware bounded put; False once the consumer stopped."""
                 while not stopped():
                     try:
-                        results.put(("batch", job_id, worker_index, batch), timeout=0.05)
+                        results.put(message, timeout=0.05)
                         return True
                     except queue.Full:
                         continue
                 return False
+
+            def emit(batch: SolutionBatch, job_id=job_id, stopped=stopped) -> bool:
+                """Ship one batch: ring span + control tuple, or — only when
+                the batch cannot ever fit the ring — the pickled fallback."""
+                if ring is not None and ring.fits(batch):
+                    written = ring.write(batch, stopped)
+                    if written is None:
+                        return False
+                    start, reserved = written
+                    if put_bounded(
+                        ("shm", job_id, worker_index, start, batch.rows,
+                         batch.width, reserved)
+                    ):
+                        return True
+                    # The consumer stopped before the control tuple got
+                    # through: nobody will ever release this span.
+                    ring.abandon(reserved)
+                    return False
+                return put_bounded(("batch", job_id, worker_index, batch))
 
             work = 0
             chunk_works: List[int] = []
@@ -238,13 +287,15 @@ def _shard_worker_main(
                     failed = True
             _put_message(results, ("done", job_id, worker_index, work, chunk_works), cancel)
     finally:
-        # Release every memoryview into the segment before closing it: the
-        # graph's CSR views (and any frames still holding them) must be gone
-        # or mmap refuses to close with "exported pointers exist".
+        # Release every memoryview into the segments before closing them:
+        # the graph's CSR views (and any frames still holding them) must be
+        # gone or mmap refuses to close with "exported pointers exist".
         import gc
 
         del graph
         gc.collect()
+        if ring is not None:
+            ring.close()
         try:
             shm.close()
         except BufferError:  # pragma: no cover - lingering views at teardown
@@ -252,11 +303,14 @@ def _shard_worker_main(
 
 
 # --------------------------------------------------------------- parent side
-def _teardown_pool(processes, controls, handle: Optional[SharedGraphHandle], cancel) -> None:
-    """Stop workers and retire the shared segment (close() and GC path)."""
+def _teardown_pool(
+    processes, controls, handle: Optional[SharedGraphHandle], cancel,
+    rings: Sequence[ResultRing] = (),
+) -> None:
+    """Stop workers and retire the shared segments (close() and GC path)."""
     if cancel is not None:
-        # Unpark any worker sitting in a cancel-aware bounded put before
-        # asking it to exit.
+        # Unpark any worker sitting in a cancel-aware bounded put (or a ring
+        # free-space wait) before asking it to exit.
         with cancel.get_lock():
             cancel.value = _CANCEL_ALL
     for control in controls:
@@ -271,6 +325,8 @@ def _teardown_pool(processes, controls, handle: Optional[SharedGraphHandle], can
         if process.is_alive():
             process.terminate()
             process.join(timeout=_SHUTDOWN_GRACE)
+    for ring in rings:
+        ring.unlink()
     if handle is not None:
         handle.unlink()
 
@@ -305,13 +361,16 @@ class ProcessShardPool:
     """Matches queries by sharding start candidates over worker processes.
 
     Drop-in parallel to :class:`~repro.matching.parallel.ParallelMatcher`
-    (same ``iter_match`` / ``match`` / ``close`` surface and
-    :class:`ParallelStats`), but workers are OS processes attached to the
-    shared-memory CSR export of the graph.  The pool is lazy and
-    persistent: processes start on the first parallel match and are reused
-    by every later query.  ``worker_context`` (e.g. the engine's
+    (same ``iter_match`` / ``iter_match_batches`` / ``match`` / ``close``
+    surface and :class:`ParallelStats`), but workers are OS processes
+    attached to the shared-memory CSR export of the graph, and result
+    batches return through per-worker shared-memory rings.  The pool is
+    lazy and persistent: processes start on the first parallel match and
+    are reused by every later query.  ``worker_context`` (e.g. the engine's
     :class:`~repro.graph.transform.GraphMapping`) is pickled to each worker
     once at startup and used to re-bind push-down predicates.
+    ``ring_slots`` sizes each worker's result ring (0 disables the rings
+    and forces every batch through the pickled queue fallback).
     """
 
     def __init__(
@@ -322,6 +381,7 @@ class ProcessShardPool:
         chunk_size: int = 8,
         start_method: Optional[str] = None,
         worker_context: Any = None,
+        ring_slots: int = DEFAULT_RING_SLOTS,
     ):
         self.graph = graph
         self.config = config if config is not None else MatchConfig.turbo_hom_pp()
@@ -329,7 +389,9 @@ class ProcessShardPool:
         self.chunk_size = max(1, chunk_size)
         self.start_method = start_method
         self.worker_context = worker_context
+        self.ring_slots = max(0, ring_slots)
         self.last_stats: Optional[ParallelStats] = None
+        self.transport = ShardTransportStats()
         self._job_ids = itertools.count(1)
         self._processes: List[Any] = []
         self._controls: List[Any] = []
@@ -337,6 +399,7 @@ class ProcessShardPool:
         self._results: Any = None
         self._cancel: Any = None
         self._handle: Optional[SharedGraphHandle] = None
+        self._rings: List[ResultRing] = []
         self._shipped: "OrderedDict[Any, None]" = OrderedDict()
         self._finalizer: Optional[weakref.finalize] = None
         self._broken = False
@@ -353,7 +416,7 @@ class ProcessShardPool:
         return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
 
     def _ensure_pool(self) -> None:
-        """Export the graph and start the worker processes if needed."""
+        """Export the graph, create the rings and start the workers if needed."""
         if self._broken:
             self.close()
         if self._processes and all(process.is_alive() for process in self._processes):
@@ -370,6 +433,11 @@ class ProcessShardPool:
         self._results = ctx.Queue(maxsize=max(2 * self.workers, 8))
         self._cancel = ctx.Value("q", 0)
         self._controls = [ctx.Queue() for _ in range(self.workers)]
+        self._rings = (
+            [ResultRing(ctx, self.ring_slots) for _ in range(self.workers)]
+            if self.ring_slots
+            else []
+        )
         self._shipped = OrderedDict()
         self._processes = [
             ctx.Process(
@@ -377,6 +445,8 @@ class ProcessShardPool:
                 args=(
                     index, self._handle.manifest, self.config, context_bytes,
                     self._controls[index], self._chunks, self._results, self._cancel,
+                    self._rings[index].manifest if self._rings else None,
+                    self._rings[index].free if self._rings else None,
                 ),
                 name=f"turbohom-shard-{index}",
                 daemon=True,
@@ -388,11 +458,12 @@ class ProcessShardPool:
         self._finalizer = weakref.finalize(
             self, _teardown_pool,
             self._processes, self._controls, self._handle, self._cancel,
+            list(self._rings),
         )
         self._broken = False
 
     def close(self) -> None:
-        """Shut the workers down and unlink the shared graph segment.
+        """Shut the workers down and unlink the shared segments.
 
         Safe to call multiple times; a later match transparently restarts
         the pool (with a fresh export of the graph).  A stream still open on
@@ -412,6 +483,7 @@ class ProcessShardPool:
         self._results = None
         self._cancel = None
         self._handle = None
+        self._rings = []
         self._shipped = OrderedDict()
         self._broken = False
 
@@ -457,14 +529,28 @@ class ProcessShardPool:
         prepared: Optional[PreparedQuery] = None,
         plan_key: Any = None,
     ) -> Iterator[Solution]:
-        """Stream solutions as the shard workers produce them.
+        """Stream solutions one at a time (row adapter over the batches)."""
+        for batch in self.iter_match_batches(
+            query, vertex_predicates, max_results, prepared, plan_key
+        ):
+            yield from batch.iter_rows()
+
+    def iter_match_batches(
+        self,
+        query: QueryGraph,
+        vertex_predicates: Optional[Dict[int, VertexPredicate]] = None,
+        max_results: Optional[int] = None,
+        prepared: Optional[PreparedQuery] = None,
+        plan_key: Any = None,
+    ) -> Iterator[SolutionBatch]:
+        """Stream columnar batches as the shard workers produce them.
 
         ``plan_key`` (the canonical plan fingerprint plus component
         coordinates) addresses the per-worker plan cache: the pickled
         payload is shipped only the first time a key is seen.  Semantics
-        match :meth:`ParallelMatcher.iter_match` exactly — including the
-        sequential fallback for single-vertex queries / one worker, result
-        limits, and error propagation only on exhaustive runs.
+        match :meth:`ParallelMatcher.iter_match_batches` exactly — including
+        the sequential fallback for single-vertex queries / one worker,
+        result limits, and error propagation only on exhaustive runs.
 
         Jobs are serialized per pool: starting a new match while an earlier
         stream of this pool is still open *supersedes* the old stream,
@@ -497,7 +583,7 @@ class ProcessShardPool:
                     per_chunk_work=[work],
                 )
 
-            yield from run_sequential(
+            yield from run_sequential_batches(
                 self.graph, self.config, query, predicates, limit, prepared, publish
             )
             return
@@ -543,8 +629,8 @@ class ProcessShardPool:
                         pass
                 job.errors.append(ShardWorkerError(f"shard worker failed:\n{text}"))
 
-        def poll(timeout: float) -> Optional[List[Solution]]:
-            """Next batch, [] for a control message, None when idle."""
+        def poll(timeout: float) -> Optional[SolutionBatch]:
+            """Next batch, a zero-row batch for a control message, None idle."""
             if job.retired:
                 # A newer job (or close()) took the queues over: this stream
                 # ends quietly instead of stealing the successor's messages.
@@ -559,12 +645,29 @@ class ProcessShardPool:
                 if timeout:
                     self._check_alive(job)
                 return None
+            if message[0] == "shm":
+                # Ring spans must be consumed (or at least released) even
+                # when they belong to an older, abandoned job — an unread
+                # reservation would wedge that worker's ring forever.
+                _, msg_job, worker_index, start, rows, width, reserved = message
+                ring = self._rings[worker_index]
+                if msg_job != job.job_id:
+                    ring.release(reserved)
+                    return SolutionBatch.empty()
+                batch = ring.read(start, rows, width)
+                ring.release(reserved)
+                self.transport.ring_batches += 1
+                self.transport.shm_bytes += rows * width * SLOT_BYTES
+                self.transport.solutions += rows
+                return batch
             if message[1] != job.job_id:
-                return []  # stale leftovers of an older, abandoned job
+                return SolutionBatch.empty()  # stale leftovers of an older job
             if message[0] == "batch":
+                self.transport.queue_batches += 1
+                self.transport.solutions += message[3].rows
                 return message[3]
             handle_control(message)
-            return []
+            return SolutionBatch.empty()
 
         def finished() -> bool:
             return job.retired or len(job.done_workers) >= self.workers
@@ -632,6 +735,8 @@ class ProcessShardPool:
 
         Runs inside a ``finally`` block, so a dead worker retires the pool
         instead of raising (the consumer path already raised if it could).
+        Discarded ring spans are still released — the batches are dropped,
+        but the reservations must flow back to their writers.
         """
         while len(job.done_workers) < self.workers:
             try:
@@ -640,6 +745,9 @@ class ProcessShardPool:
                 if any(not process.is_alive() for process in self._processes):
                     self._mark_broken()
                     return
+                continue
+            if message[0] == "shm":
+                self._rings[message[2]].release(message[6])
                 continue
             if message[1] != job.job_id or message[0] == "batch":
                 continue

@@ -1,0 +1,177 @@
+"""Per-worker shared-memory ring buffers for shard solution batches.
+
+Before this module existed, every solution a shard worker found was pickled
+inside a ``List[Solution]`` batch and pushed through a ``multiprocessing``
+queue — per-solution serialization on the hottest result path.  The ring
+moves the *data* through shared memory instead and leaves only a tiny
+constant-size control tuple on the queue:
+
+* the **parent** creates one :class:`ResultRing` per worker (a
+  ``multiprocessing.shared_memory`` segment of ``slots`` int64 cells plus a
+  shared free-space counter) and keeps the reader side;
+* the **worker** wraps the same segment in a :class:`RingWriter` and writes
+  each :class:`~repro.matching.solution_batch.SolutionBatch` column-major
+  into a contiguous span it reserved from the free counter;
+* the control message ``(start, rows, width, reserved)`` travels through the
+  existing result queue, preserving the per-worker FIFO the merge loop
+  already relies on; the parent slices the span zero-copy, adopts the
+  columns with one bulk ``frombytes`` per column, and releases the
+  reservation.
+
+Flow control is a single shared counter: the writer reserves
+``rows * width`` slots (plus any skipped tail when a batch would wrap) and
+blocks — polling the job's cancel flag — until the reader has released
+enough older spans.  One writer and one reader per ring, and spans are
+consumed in write order, so the counter exactly tracks the sliding window
+of unread data; no head/tail pointers ever cross the process boundary.
+
+A batch larger than the whole ring can never fit; callers detect that with
+:meth:`RingWriter.fits` and fall back to the queue path (the pickled-batch
+transport this module replaces), which the overflow regression tests pin.
+"""
+
+from __future__ import annotations
+
+import time
+from multiprocessing import shared_memory
+from array import array
+from typing import Optional, Tuple
+
+from repro.matching.solution_batch import SLOT_BYTES, SolutionBatch
+
+#: Default ring capacity per worker, in int64 slots (512 KiB).  Large enough
+#: that a default 256-row batch of any sane query width fits many times
+#: over; small enough that an 8-worker pool stays under 4 MiB of /dev/shm.
+DEFAULT_RING_SLOTS = 64 * 1024
+
+#: How long (seconds) a blocked writer sleeps between free-space checks.
+_WRITE_POLL = 0.001
+
+
+class ResultRing:
+    """Parent-side owner of one worker's ring segment.
+
+    Created before the worker is spawned; :attr:`manifest` (segment name +
+    slot count) and :attr:`free` (the shared counter) are handed to the
+    worker process, which attaches its own :class:`RingWriter` view.
+    """
+
+    def __init__(self, ctx, slots: int, name: Optional[str] = None):
+        if slots <= 0:
+            raise ValueError("ResultRing needs a positive slot count")
+        self.slots = slots
+        self.segment = shared_memory.SharedMemory(
+            name=name, create=True, size=slots * SLOT_BYTES
+        )
+        #: Free slots remaining; the single flow-control primitive shared by
+        #: writer (reserves) and reader (releases).
+        self.free = ctx.Value("q", slots)
+
+    @property
+    def manifest(self) -> Tuple[str, int]:
+        return (self.segment.name, self.slots)
+
+    # ------------------------------------------------------------- reader side
+    def read(self, start: int, rows: int, width: int) -> SolutionBatch:
+        """Adopt one written span as a batch (one bulk copy per column).
+
+        The span stays reserved until :meth:`release`, so the ``frombytes``
+        bulk copies read stable data even while the worker keeps writing.
+        """
+        columns = []
+        view = self.segment.buf
+        offset = start * SLOT_BYTES
+        span = rows * SLOT_BYTES
+        for _ in range(width):
+            column = array("q")
+            column.frombytes(view[offset : offset + span])
+            columns.append(column)
+            offset += span
+        return SolutionBatch(columns, rows)
+
+    def release(self, reserved: int) -> None:
+        """Return a consumed (or discarded) reservation to the writer."""
+        with self.free.get_lock():
+            self.free.value += reserved
+
+    def close(self) -> None:
+        try:
+            self.segment.close()
+        except BufferError:  # pragma: no cover - lingering views at teardown
+            pass
+
+    def unlink(self) -> None:
+        self.close()
+        try:
+            self.segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+
+class RingWriter:
+    """Worker-side writer over a parent-created ring segment."""
+
+    def __init__(self, manifest: Tuple[str, int], free):
+        name, slots = manifest
+        self.segment = shared_memory.SharedMemory(name=name)
+        self.slots = slots
+        self.free = free
+        #: Next write offset (slots).  Purely writer-local: readers locate
+        #: spans from the control messages, never from this cursor.
+        self.write_offset = 0
+
+    def fits(self, batch: SolutionBatch) -> bool:
+        """True when the batch can ever be ring-transported (id payload that
+        fits the segment; zero-slot batches carry no column data)."""
+        return 0 < batch.slots <= self.slots
+
+    def write(self, batch: SolutionBatch, stopped) -> Optional[Tuple[int, int]]:
+        """Reserve a span, copy the batch in column-major, and return
+        ``(start, reserved)`` for the control message.
+
+        Blocks while the ring is too full, polling ``stopped()`` so a
+        cancelled job abandons the write instead of deadlocking against a
+        consumer that is no longer draining.  Returns ``None`` when stopped;
+        callers must check :meth:`fits` first.
+        """
+        needed = batch.slots
+        skipped = 0
+        start = self.write_offset
+        if self.slots - start < needed:
+            # Keep every span contiguous: skip the tail remainder and wrap.
+            # The skipped slots ride along in the reservation so the reader
+            # frees them with the batch.
+            skipped = self.slots - start
+            start = 0
+        reserved = needed + skipped
+        while True:
+            with self.free.get_lock():
+                if self.free.value >= reserved:
+                    self.free.value -= reserved
+                    break
+            if stopped():
+                return None
+            time.sleep(_WRITE_POLL)
+        view = self.segment.buf
+        offset = start * SLOT_BYTES
+        rows_bytes = batch.rows * SLOT_BYTES
+        for column in batch.columns:
+            view[offset : offset + rows_bytes] = memoryview(column).cast("B")
+            offset += rows_bytes
+        self.write_offset = start + needed
+        if self.write_offset == self.slots:
+            self.write_offset = 0
+        return start, reserved
+
+    def abandon(self, reserved: int) -> None:
+        """Give a reservation back after a write whose control message could
+        not be delivered (consumer stopped): the parent will never release
+        it, so the writer must."""
+        with self.free.get_lock():
+            self.free.value += reserved
+
+    def close(self) -> None:
+        try:
+            self.segment.close()
+        except BufferError:  # pragma: no cover - lingering views at teardown
+            pass

@@ -10,15 +10,20 @@ This module holds the three pieces that must behave *identically* in both
 pools so the two execution modes cannot drift apart semantically:
 
 * :func:`run_chunk` — the per-chunk matching core (regions, matching order,
-  batched solution emission, work accounting).  It is the only place either
+  columnar batch emission, work accounting).  It is the only place either
   pool runs the matcher, so a semantics fix lands in both at once.
 * :func:`chunk_ranges` — the dynamic-chunk partition of the start-candidate
   list.
 * :func:`merge_solution_batches` — the consumer-side merge loop: poll for
   batches, honour the result limit, drain after all workers finished.
 
-The pools differ only in transport (``queue.Queue`` + ``threading.Event``
-vs ``multiprocessing`` queues + a shared cancel counter), which they supply
+Results move as columnar :class:`~repro.matching.solution_batch.
+SolutionBatch` objects end-to-end: workers pack solutions into flat
+per-vertex arrays as the search produces them, the merge loop slices whole
+batches against the result limit, and the pools' scalar ``iter_match``
+surface is a thin row-iterating adapter.  The pools differ only in
+transport (``queue.Queue`` + ``threading.Event`` vs a shared-memory ring +
+``multiprocessing`` queues + a shared cancel counter), which they supply
 through the ``emit`` / ``stopped`` / ``poll`` / ``finished`` callables.
 """
 
@@ -33,13 +38,9 @@ from repro.graph.query_graph import QueryGraph
 from repro.matching.candidate_region import VertexPredicate, explore_candidate_region
 from repro.matching.config import MatchConfig
 from repro.matching.matching_order import determine_matching_order
+from repro.matching.solution_batch import SOLUTION_BATCH_SIZE, SolutionBatch
 from repro.matching.subgraph_search import SearchStatistics, subgraph_search_iter
-from repro.matching.turbo import PreparedQuery, Solution, TurboMatcher
-
-#: Solutions per batch a worker pushes to the consumer: large enough to keep
-#: queue traffic negligible, small enough to bound worker memory and
-#: cancellation latency inside one combinatorial candidate region.
-SOLUTION_BATCH_SIZE = 256
+from repro.matching.turbo import PreparedQuery, TurboMatcher
 
 #: How long the consumer waits for one batch before re-checking liveness.
 POLL_INTERVAL = 0.05
@@ -63,15 +64,16 @@ def run_chunk(
     predicates: Dict[int, VertexPredicate],
     root_predicate: Optional[VertexPredicate],
     chunk: Sequence[int],
-    emit: Callable[[List[Solution]], bool],
+    emit: Callable[[SolutionBatch], bool],
     stopped: Callable[[], bool],
 ) -> int:
     """Match every start data vertex of one chunk, emitting solution batches.
 
     This is the worker-side matching core of Algorithm 1's start-vertex loop
     (lines 9–15), shared verbatim by the thread pool and the process pool.
-    ``emit`` delivers one batch to the consumer and returns False once the
-    consumer stopped (result limit reached / generator abandoned);
+    Solutions are packed straight into columnar batches as the search yields
+    them; ``emit`` delivers one batch to the consumer and returns False once
+    the consumer stopped (result limit reached / generator abandoned);
     ``stopped`` is polled between candidate regions so cancellation takes
     effect promptly.  Returns the chunk's work units (candidate-region
     vertices explored plus search recursions), the load-balance quantity the
@@ -80,6 +82,7 @@ def run_chunk(
     work = 0
     order_cache = prepared.order_cache if config.reuse_matching_order else None
     tree = prepared.tree
+    width = query.vertex_count()
     for start_data_vertex in chunk:
         # Per-region stop check: cancellation takes effect between regions
         # (and, below, between batches).
@@ -96,27 +99,31 @@ def run_chunk(
         work += region.size()
         order = determine_matching_order(tree, region, order_cache)
         search_stats = SearchStatistics()
-        # Stream the region's solutions out in fixed-size batches rather
-        # than materializing the whole region: bounds worker memory on
-        # combinatorial regions and lets the stop signal interrupt
+        # Stream the region's solutions out in fixed-size columnar batches
+        # rather than materializing the whole region: bounds worker memory
+        # on combinatorial regions and lets the stop signal interrupt
         # mid-region.
-        batch: List[Solution] = []
+        columns = SolutionBatch.collector(width)
+        rows = 0
         for solution in subgraph_search_iter(
             graph, query, tree, region, order, config, search_stats,
         ):
-            batch.append(solution)
-            if len(batch) >= SOLUTION_BATCH_SIZE:
-                if not emit(batch):
-                    batch = []
+            for index in range(width):
+                columns[index].append(solution[index])
+            rows += 1
+            if rows >= SOLUTION_BATCH_SIZE:
+                if not emit(SolutionBatch(columns, rows)):
+                    rows = 0
                     break
-                batch = []
-        if batch:
-            emit(batch)
+                columns = SolutionBatch.collector(width)
+                rows = 0
+        if rows:
+            emit(SolutionBatch(columns, rows))
         work += search_stats.recursions
     return work
 
 
-def run_sequential(
+def run_sequential_batches(
     graph: LabeledGraph,
     config: MatchConfig,
     query: QueryGraph,
@@ -124,22 +131,22 @@ def run_sequential(
     limit: Optional[int],
     prepared: Optional[PreparedQuery],
     on_finish: Callable[[int, int, float], None],
-) -> Iterator[Solution]:
+) -> Iterator[SolutionBatch]:
     """The single-worker / single-vertex fallback shared by both pools.
 
-    Streams straight from the in-process :class:`TurboMatcher` (identical
-    semantics, simpler bookkeeping than a one-shard job); on exhaustion
-    calls ``on_finish(solutions, work, elapsed_ms)`` so the owning pool can
-    publish its statistics object.
+    Streams columnar batches straight from the in-process
+    :class:`TurboMatcher` (identical semantics, simpler bookkeeping than a
+    one-shard job); on exhaustion calls ``on_finish(solutions, work,
+    elapsed_ms)`` so the owning pool can publish its statistics object.
     """
     start_time = time.perf_counter()
     matcher = TurboMatcher(graph, config)
     solutions_count = 0
-    for solution in matcher.iter_match(
+    for batch in matcher.iter_match_batches(
         query, vertex_predicates=predicates, max_results=limit, prepared=prepared
     ):
-        solutions_count += 1
-        yield solution
+        solutions_count += batch.rows
+        yield batch
     elapsed = (time.perf_counter() - start_time) * 1000.0
     sequential = matcher.last_statistics
     work = sequential.region_vertices + sequential.search.recursions
@@ -160,19 +167,19 @@ class StreamOutcome:
 
 
 def merge_solution_batches(
-    poll: Callable[[float], Optional[List[Solution]]],
+    poll: Callable[[float], Optional[SolutionBatch]],
     finished: Callable[[], bool],
     limit: Optional[int],
     outcome: StreamOutcome,
-) -> Iterator[Solution]:
-    """Merge worker solution batches into one stream, honouring ``limit``.
+) -> Iterator[SolutionBatch]:
+    """Merge worker batches into one stream, honouring ``limit`` by slicing.
 
-    ``poll(timeout)`` returns the next batch, an empty list for a wake token
-    or consumed control message, or ``None`` when nothing arrived within the
-    timeout (it may also raise to propagate a worker failure).  ``finished``
-    turns True once every worker has left the job; batches already queued at
-    that point are drained before the stream ends (workers enqueue all output
-    before reporting completion, in FIFO order).
+    ``poll(timeout)`` returns the next batch, a zero-row batch for a wake
+    token or consumed control message, or ``None`` when nothing arrived
+    within the timeout (it may also raise to propagate a worker failure).
+    ``finished`` turns True once every worker has left the job; batches
+    already queued at that point are drained before the stream ends (workers
+    enqueue all output before reporting completion, in FIFO order).
     """
     draining = False
     while True:
@@ -183,9 +190,13 @@ def merge_solution_batches(
             if finished():
                 draining = True
             continue
-        for solution in batch:
-            outcome.delivered += 1
-            yield solution
-            if limit is not None and outcome.delivered >= limit:
-                outcome.stopped_early = True
-                return
+        if batch.rows == 0:
+            continue
+        if limit is not None and outcome.delivered + batch.rows >= limit:
+            take = limit - outcome.delivered
+            outcome.delivered = limit
+            outcome.stopped_early = True
+            yield batch.head(take)
+            return
+        outcome.delivered += batch.rows
+        yield batch

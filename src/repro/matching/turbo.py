@@ -16,7 +16,11 @@ The primitive API is the streaming generator :meth:`TurboMatcher.iter_match`:
 solutions are produced one at a time straight out of the candidate-region
 search, so consumers (engines, the parallel matcher, result limits) never
 force a full result list into memory.  :meth:`match`, :meth:`count` and
-:meth:`match_with_callback` are thin adapters over it.
+:meth:`match_with_callback` are thin adapters over it, and
+:meth:`iter_match_batches` groups the same stream into columnar
+:class:`~repro.matching.solution_batch.SolutionBatch` objects for the
+batch result pipeline (one flat array per query vertex instead of one list
+per solution).
 
 Per-query preparation (start-vertex selection, query-tree construction,
 filter-requirement derivation, the shared ``+REUSE`` matching-order slot) is
@@ -47,6 +51,7 @@ from repro.matching.config import MatchConfig
 from repro.matching.filters import VertexRequirements, passes_filters, vertex_requirements
 from repro.matching.matching_order import OrderCache, determine_matching_order
 from repro.matching.query_tree import QueryTree, write_query_tree
+from repro.matching.solution_batch import SOLUTION_BATCH_SIZE, SolutionBatch
 from repro.matching.start_vertex import candidate_start_vertices, choose_start
 from repro.matching.subgraph_search import SearchStatistics, subgraph_search_iter
 
@@ -162,6 +167,35 @@ class TurboMatcher:
             yield mapping
             if limit is not None and produced >= limit:
                 return
+
+    def iter_match_batches(
+        self,
+        query: QueryGraph,
+        vertex_predicates: Optional[Dict[int, VertexPredicate]] = None,
+        max_results: Optional[int] = None,
+        prepared: Optional[PreparedQuery] = None,
+        batch_size: int = SOLUTION_BATCH_SIZE,
+    ) -> Iterator[SolutionBatch]:
+        """Stream solutions grouped into columnar batches.
+
+        Same semantics, limits and statistics as :meth:`iter_match`; the
+        only difference is the shape of the stream — solutions are packed
+        column-major so the engine's batch pipeline (and the shard
+        transports) move flat arrays instead of per-solution lists.
+        """
+        width = query.vertex_count()
+        columns = SolutionBatch.collector(width)
+        rows = 0
+        for solution in self.iter_match(query, vertex_predicates, max_results, prepared):
+            for index in range(width):
+                columns[index].append(solution[index])
+            rows += 1
+            if rows >= batch_size:
+                yield SolutionBatch(columns, rows)
+                columns = SolutionBatch.collector(width)
+                rows = 0
+        if rows:
+            yield SolutionBatch(columns, rows)
 
     def match(
         self,

@@ -8,10 +8,13 @@ from repro.sparql.ast import (
     SelectQuery,
 )
 from repro.sparql.parser import parse_sparql
+from repro.sparql.binding_batch import BatchBuilder, BindingBatch
 from repro.sparql.results import ResultSet, Binding
 from repro.sparql import expressions
 
 __all__ = [
+    "BatchBuilder",
+    "BindingBatch",
     "Variable",
     "TriplePattern",
     "GraphPattern",

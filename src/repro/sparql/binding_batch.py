@@ -1,0 +1,235 @@
+"""Columnar binding batches: the engine-level unit of result movement.
+
+A :class:`~repro.sparql.results.Binding` is one dict of variable → decoded
+RDF term; a :class:`BindingBatch` is up to a few hundred of them stored
+column-major, with vertex **ids** (not terms) in the columns wherever
+possible.  This is what lets the batch result pipeline practice *late
+materialization*: solutions travel from the matcher through joins, DISTINCT
+and LIMIT/OFFSET as flat integer arrays, and ids are decoded to RDF terms
+only for the rows that actually reach the
+:class:`~repro.sparql.results.ResultSet` boundary
+(:meth:`ResultSet.from_batches` → :meth:`BindingBatch.iter_bindings`).
+
+Columns come in two kinds:
+
+* ``id`` — an ``array('q')`` of data-vertex ids, decoded through the
+  batch's ``decoder`` (the engine's ``GraphMapping.term_for_vertex``).
+  Vertex ids are non-negative, so :data:`NULL_ID` (−1) doubles as the
+  null/OPTIONAL mask — no separate bitmap is needed.
+* ``term`` — a plain list of already-materialized terms (``None`` = null),
+  used for the few variables that are never vertex-valued: predicate
+  variables, ``rdf:type ?t`` type variables and forced bindings.
+
+The id→term mapping is injective (vertices, graph nodes and dictionary
+terms are in bijection), so equality on ids is equality on terms: joins and
+DISTINCT can compare raw ids.  Producers keep each variable's kind
+consistent across a stream (operators resolve ``id`` vs ``term`` to
+``term`` by decoding when two streams disagree), which is what makes raw
+comparison sound end-to-end.
+
+:meth:`iter_bindings` is the compatibility adapter back to scalar
+``Binding`` dicts, so oracle comparisons and the ``scalar`` pipeline keep
+working against identical semantics.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.rdf.terms import Term
+
+#: The null/OPTIONAL mask value of id columns (vertex ids are >= 0).
+NULL_ID = -1
+
+#: Column kinds.
+KIND_ID = "id"
+KIND_TERM = "term"
+
+#: An id→term decoder (typically ``GraphMapping.term_for_vertex``).
+Decoder = Callable[[int], Term]
+
+Column = Union[array, List[Optional[Term]]]
+
+
+def resolve_kind(left: Optional[str], right: Optional[str]) -> str:
+    """The common column kind of two inputs (``None`` = variable absent).
+
+    Ids stay ids only when nothing forces terms; any disagreement decodes
+    to the term domain, where values from both kinds compare correctly.
+    """
+    if left == KIND_TERM or right == KIND_TERM:
+        return KIND_TERM
+    if left == KIND_ID or right == KIND_ID:
+        return KIND_ID
+    return KIND_TERM
+
+
+class BindingBatch:
+    """A columnar batch of solution bindings (late-materialized)."""
+
+    __slots__ = ("variables", "columns", "kinds", "rows", "decoder")
+
+    def __init__(
+        self,
+        variables: Sequence[str],
+        columns: Dict[str, Column],
+        kinds: Dict[str, str],
+        rows: int,
+        decoder: Optional[Decoder] = None,
+    ):
+        self.variables: Tuple[str, ...] = tuple(variables)
+        self.columns = columns
+        self.kinds = kinds
+        self.rows = rows
+        self.decoder = decoder
+
+    # ------------------------------------------------------------ construction
+    @classmethod
+    def unit(cls, decoder: Optional[Decoder] = None) -> "BindingBatch":
+        """One row binding nothing (the identity of the join algebra)."""
+        return cls((), {}, {}, 1, decoder)
+
+    # ------------------------------------------------------------------ access
+    def kind(self, var: str) -> Optional[str]:
+        """The column kind of ``var``, or None when the batch never binds it."""
+        return self.kinds.get(var)
+
+    def raw(self, var: str, row: int):
+        """The raw column value: an id (int), a term, or None for null."""
+        column = self.columns.get(var)
+        if column is None:
+            return None
+        value = column[row]
+        if self.kinds[var] == KIND_ID:
+            return None if value < 0 else value
+        return value
+
+    def term(self, var: str, row: int) -> Optional[Term]:
+        """The materialized term of one cell (None for null/missing)."""
+        value = self.raw(var, row)
+        if value is None:
+            return None
+        if self.kinds[var] == KIND_ID:
+            assert self.decoder is not None, "id column without a decoder"
+            return self.decoder(value)
+        return value
+
+    def term_column(self, var: str) -> List[Optional[Term]]:
+        """One whole column, materialized (the bulk decode of one variable)."""
+        column = self.columns.get(var)
+        if column is None:
+            return [None] * self.rows
+        if self.kinds[var] == KIND_ID:
+            decode = self.decoder
+            assert decode is not None, "id column without a decoder"
+            return [None if value < 0 else decode(value) for value in column]
+        return list(column)
+
+    def iter_bindings(self) -> Iterator[Dict[str, Optional[Term]]]:
+        """Materialize the batch into scalar ``Binding`` dicts.
+
+        This is the scalar compatibility adapter *and* the single point
+        where ids become RDF terms: each id column is decoded once, in
+        bulk, no matter how many operators the batch flowed through.
+        """
+        variables = self.variables
+        materialized = [self.term_column(var) for var in variables]
+        for row in range(self.rows):
+            yield {var: materialized[i][row] for i, var in enumerate(variables)}
+
+    # -------------------------------------------------------------- reshaping
+    def project(self, variables: Sequence[str]) -> "BindingBatch":
+        """Keep only ``variables`` (missing ones become null term columns)."""
+        columns: Dict[str, Column] = {}
+        kinds: Dict[str, str] = {}
+        for var in variables:
+            column = self.columns.get(var)
+            if column is None:
+                columns[var] = [None] * self.rows
+                kinds[var] = KIND_TERM
+            else:
+                columns[var] = column
+                kinds[var] = self.kinds[var]
+        return BindingBatch(variables, columns, kinds, self.rows, self.decoder)
+
+    def take(self, rows: Sequence[int]) -> "BindingBatch":
+        """Select a subset of rows (FILTER survivors)."""
+        columns: Dict[str, Column] = {}
+        for var in self.variables:
+            column = self.columns[var]
+            if self.kinds[var] == KIND_ID:
+                columns[var] = array("q", (column[row] for row in rows))
+            else:
+                columns[var] = [column[row] for row in rows]
+        return BindingBatch(self.variables, columns, dict(self.kinds), len(rows), self.decoder)
+
+    def slice(self, start: int, stop: Optional[int]) -> "BindingBatch":
+        """Row range ``[start:stop]`` — LIMIT/OFFSET without touching cells."""
+        columns = {var: column[start:stop] for var, column in self.columns.items()}
+        end = self.rows if stop is None else min(stop, self.rows)
+        return BindingBatch(
+            self.variables, columns, dict(self.kinds), max(0, end - start), self.decoder
+        )
+
+    def __len__(self) -> int:
+        return self.rows
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"BindingBatch(vars={list(self.variables)}, rows={self.rows})"
+
+
+class BatchBuilder:
+    """Row-appending builder for operator output batches.
+
+    The output schema (variables + kinds) is fixed up front by the operator
+    (see :func:`resolve_kind`); ``append`` stores one row of raw values in
+    that schema — ``None`` nulls become :data:`NULL_ID` in id columns.
+    """
+
+    __slots__ = ("variables", "kinds", "columns", "rows", "decoder")
+
+    def __init__(self, variables: Sequence[str], kinds: Dict[str, str], decoder: Optional[Decoder]):
+        self.variables = tuple(variables)
+        self.kinds = dict(kinds)
+        self.columns: Dict[str, Column] = {
+            var: (array("q") if self.kinds[var] == KIND_ID else [])
+            for var in self.variables
+        }
+        self.rows = 0
+        self.decoder = decoder
+
+    def append(self, values: Sequence) -> None:
+        """Append one row (values aligned with ``variables``)."""
+        kinds = self.kinds
+        for var, value in zip(self.variables, values):
+            if kinds[var] == KIND_ID:
+                self.columns[var].append(NULL_ID if value is None else value)
+            else:
+                self.columns[var].append(value)
+        self.rows += 1
+
+    def batch(self) -> BindingBatch:
+        return BindingBatch(self.variables, self.columns, self.kinds, self.rows, self.decoder)
+
+
+def slice_batches(
+    stream: Iterator[BindingBatch], offset: int, end: Optional[int]
+) -> Iterator[BindingBatch]:
+    """Row-level ``[offset:end]`` over a batch stream, slicing whole batches.
+
+    The stream is abandoned (and, transitively, matching is cancelled) as
+    soon as ``end`` rows passed — the batch pipeline's LIMIT/OFFSET.
+    """
+    seen = 0
+    for batch in stream:
+        lo = max(0, offset - seen)
+        hi = batch.rows if end is None else min(batch.rows, end - seen)
+        seen += batch.rows
+        if hi <= lo:
+            if end is not None and seen >= end:
+                return
+            continue
+        yield batch if (lo == 0 and hi == batch.rows) else batch.slice(lo, hi)
+        if end is not None and seen >= end:
+            return

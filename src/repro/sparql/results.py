@@ -5,13 +5,22 @@ variable left unbound by an OPTIONAL clause).  A :class:`ResultSet` is an
 ordered collection of bindings plus the projected variable list, with helpers
 for DISTINCT / ORDER BY / LIMIT and for order-insensitive comparison between
 engines (used heavily by the cross-engine consistency tests).
+
+This module is also the *materialization boundary* of the batch result
+pipeline: :meth:`ResultSet.from_batches` is where columnar
+:class:`~repro.sparql.binding_batch.BindingBatch` streams — which carry
+vertex **ids** through the whole engine — finally decode into term-valued
+binding dicts.  Nothing above a ``ResultSet`` ever sees an id.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.rdf.terms import Term
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.sparql.binding_batch import BindingBatch
 
 Binding = Dict[str, Optional[Term]]
 
@@ -22,6 +31,22 @@ class ResultSet:
     def __init__(self, variables: Sequence[str], rows: Optional[Iterable[Binding]] = None):
         self.variables: List[str] = list(variables)
         self.rows: List[Binding] = list(rows) if rows is not None else []
+
+    @classmethod
+    def from_batches(
+        cls, variables: Sequence[str], batches: Iterable["BindingBatch"]
+    ) -> "ResultSet":
+        """Materialize a columnar batch stream into a result set.
+
+        The single place the batch pipeline decodes ids to RDF terms (late
+        materialization): every batch that reaches this boundary has already
+        been joined, deduplicated and sliced on its raw columns.
+        """
+        result = cls(variables)
+        rows = result.rows
+        for batch in batches:
+            rows.extend(batch.iter_bindings())
+        return result
 
     # ------------------------------------------------------------- collection
     def append(self, binding: Binding) -> None:
