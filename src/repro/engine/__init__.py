@@ -8,6 +8,7 @@ from repro.engine.base import (
 )
 from repro.engine.plan import QueryPlan, compile_query
 from repro.engine.plan_cache import PlanCache, bgp_fingerprint
+from repro.engine.region_cache import RegionCache
 from repro.engine.shard_executor import ShardExecutor
 from repro.engine.turbo_engine import TurboHomEngine, TurboHomPPEngine, TurboEngine
 
@@ -15,6 +16,7 @@ __all__ = [
     "Engine",
     "BGPSolver",
     "PlanCache",
+    "RegionCache",
     "QueryPlan",
     "ShardExecutor",
     "TurboEngine",

@@ -51,6 +51,12 @@ RESULT_PIPELINES = ("batch", "scalar")
 #: compatibility path: ``REPRO_RESULT_PIPELINE=scalar``.
 RESULT_PIPELINE_ENV = "REPRO_RESULT_PIPELINE"
 
+#: Environment override for the cross-query candidate-region cache budget
+#: (bytes) of engines constructed without an explicit ``region_cache_bytes``.
+#: ``0`` disables region caching entirely; unset keeps the default budget
+#: (see :data:`repro.engine.region_cache.DEFAULT_REGION_CACHE_BYTES`).
+REGION_CACHE_BYTES_ENV = "REPRO_REGION_CACHE_BYTES"
+
 
 def resolve_execution_mode(mode: Optional[str] = None) -> str:
     """Validate an execution mode, falling back to the environment override.
@@ -82,6 +88,28 @@ def resolve_result_pipeline(pipeline: Optional[str] = None) -> str:
             f"unknown result pipeline {pipeline!r}; expected one of {RESULT_PIPELINES}"
         )
     return pipeline
+
+
+def resolve_region_cache_bytes(capacity: Optional[int], default: int) -> int:
+    """Validate a region-cache byte budget, falling back to the environment.
+
+    An explicit non-None ``capacity`` always wins; ``None`` consults
+    ``REPRO_REGION_CACHE_BYTES`` and finally ``default``.  ``0`` disables
+    region caching; negative or malformed values raise at construction.
+    """
+    if capacity is None:
+        env = os.environ.get(REGION_CACHE_BYTES_ENV, "").strip()
+        if not env:
+            return default
+        try:
+            capacity = int(env)
+        except ValueError as error:
+            raise EngineError(f"invalid {REGION_CACHE_BYTES_ENV}={env!r}") from error
+    if not isinstance(capacity, int) or isinstance(capacity, bool) or capacity < 0:
+        raise EngineError(
+            f"region_cache_bytes must be a non-negative integer, got {capacity!r}"
+        )
+    return capacity
 
 
 def validate_worker_count(workers: int) -> int:

@@ -1,0 +1,152 @@
+"""Cross-query candidate-region caching: a byte-size-bounded LRU of arenas.
+
+Candidate-region exploration is pure work over the immutable data graph: for
+a fixed (query, config) pair the region rooted at a start data vertex never
+changes.  The plan cache already removes per-query *compilation* from the
+serving hot path; :class:`RegionCache` removes per-execution *exploration* —
+the repeated-query workload :mod:`benchmarks.bench_repeated_queries` models
+re-runs the same plans over and over, and every run used to re-explore every
+region from scratch.
+
+Entries are frozen :meth:`~repro.matching.region_arena.RegionArena.snapshot`
+copies (or the :data:`~repro.matching.region_arena.EMPTY_REGION` marker for
+start vertices whose region came up empty — a negative result worth exactly
+as much), keyed by ``((plan fingerprint, alternative, component),
+start_data_vertex)``.  The fingerprint pins the BGP *and* its push-down
+filters, and the cache is owned by one engine (one graph, one
+:class:`MatchConfig`), so a key can never alias across semantically
+different explorations.  Snapshots are read-only and safe to share across
+worker threads; in process mode each shard worker holds its own cache (see
+:mod:`repro.matching.process_shard`) and reports its counters back with
+every job.
+
+The budget is **bytes, not entries** — regions range from a handful of
+candidates to graph-sized — and an entry larger than the whole budget is
+simply not cached (it would evict everything for one key).  Invalidation
+follows the plan cache: :meth:`TurboEngine.load` clears both, and worker
+processes restart (with empty caches) whenever the pool is rebuilt.
+``REPRO_REGION_CACHE_BYTES`` (0 disables) sizes the cache for engines that
+don't pass the constructor knob; see ``docs/matching_core.md``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Hashable, Optional
+
+from repro.matching.region_arena import EMPTY_REGION
+
+#: Default byte budget (64 MiB) — enough for tens of thousands of typical
+#: regions while staying far below a loaded graph's own footprint.
+DEFAULT_REGION_CACHE_BYTES = 64 << 20
+
+#: Accounted bytes of an EMPTY_REGION entry (key tuple + dict slot).
+_EMPTY_ENTRY_BYTES = 128
+
+
+class RegionCacheStats:
+    """Plain hit/miss/eviction counters (also the cross-process carrier)."""
+
+    __slots__ = ("hits", "misses", "evictions")
+
+    def __init__(self, hits: int = 0, misses: int = 0, evictions: int = 0):
+        self.hits = hits
+        self.misses = misses
+        self.evictions = evictions
+
+    def as_tuple(self):
+        return (self.hits, self.misses, self.evictions)
+
+    def add(self, hits: int, misses: int, evictions: int) -> None:
+        self.hits += hits
+        self.misses += misses
+        self.evictions += evictions
+
+
+class RegionCache:
+    """Thread-safe, byte-size-bounded LRU of frozen candidate regions."""
+
+    def __init__(self, capacity_bytes: int = DEFAULT_REGION_CACHE_BYTES):
+        if capacity_bytes <= 0:
+            raise ValueError("RegionCache capacity_bytes must be positive")
+        self.capacity_bytes = capacity_bytes
+        self.current_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._lock = threading.Lock()
+        #: key -> (frozen RegionArena | EMPTY_REGION, accounted bytes)
+        self._entries: "OrderedDict[Hashable, tuple]" = OrderedDict()
+
+    # ------------------------------------------------------------------ access
+    def lookup(self, key: Hashable):
+        """The cached region for ``key`` (or :data:`EMPTY_REGION`); None on miss."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry[0]
+
+    def store(self, key: Hashable, region) -> None:
+        """Cache a frozen region snapshot (or the EMPTY_REGION marker).
+
+        Oversized regions (larger than the whole budget) are dropped rather
+        than cached; re-storing a key replaces the entry and its accounting.
+        """
+        nbytes = _EMPTY_ENTRY_BYTES if region is EMPTY_REGION else region.nbytes
+        if nbytes > self.capacity_bytes:
+            return
+        with self._lock:
+            previous = self._entries.pop(key, None)
+            if previous is not None:
+                self.current_bytes -= previous[1]
+            self._entries[key] = (region, nbytes)
+            self.current_bytes += nbytes
+            while self.current_bytes > self.capacity_bytes and self._entries:
+                _, (_, evicted_bytes) = self._entries.popitem(last=False)
+                self.current_bytes -= evicted_bytes
+                self.evictions += 1
+
+    # --------------------------------------------------------------- lifecycle
+    def clear(self) -> None:
+        """Drop every entry and reset the counters (plan-cache invalidation)."""
+        with self._lock:
+            self._entries.clear()
+            self.current_bytes = 0
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def counters(self) -> Dict[str, int]:
+        """Counter snapshot in the shape :meth:`TurboEngine.stats` reports."""
+        with self._lock:
+            return {
+                "capacity_bytes": self.capacity_bytes,
+                "bytes": self.current_bytes,
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return (
+            f"RegionCache(bytes={self.current_bytes}/{self.capacity_bytes}, "
+            f"entries={len(self)}, hits={self.hits}, misses={self.misses}, "
+            f"evictions={self.evictions})"
+        )
+
+
+def make_region_cache(capacity_bytes: Optional[int]) -> Optional[RegionCache]:
+    """A cache for a resolved byte budget; None when disabled (0)."""
+    if not capacity_bytes:
+        return None
+    return RegionCache(capacity_bytes)

@@ -14,7 +14,11 @@ rehydrate a given compiled component exactly once and serve every repeated
 execution from their per-worker plan caches — the process analogue of the
 engine's :class:`~repro.engine.plan_cache.PlanCache`.  Plans compiled while
 the cache is disabled carry no fingerprint and fall back to a per-executor
-serial (shipped every time, never cached worker-side).
+serial (shipped every time, never cached worker-side).  The same plan keys
+address each worker's private cross-query **region cache**
+(``region_cache_bytes`` > 0): explored candidate regions are snapshotted
+per start vertex and repeated executions of a fingerprinted component skip
+exploration entirely (see :mod:`repro.engine.region_cache`).
 """
 
 from __future__ import annotations
@@ -42,6 +46,7 @@ class ShardExecutor:
         workers: int,
         chunk_size: int = 8,
         start_method: Optional[str] = None,
+        region_cache_bytes: int = 0,
     ):
         self.pool = ProcessShardPool(
             graph,
@@ -50,6 +55,10 @@ class ShardExecutor:
             chunk_size=chunk_size,
             start_method=start_method,
             worker_context=mapping,
+            # Each worker holds its own region cache of this budget, keyed
+            # by the same (fingerprint, alternative, component) plan keys
+            # the per-worker plan caches use (0 disables).
+            region_cache_bytes=region_cache_bytes,
         )
 
     @property

@@ -42,19 +42,25 @@ fingerprint (see ``docs/execution_modes.md``).
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.engine.base import (
     BGPSolver,
     Engine,
     resolve_execution_mode,
+    resolve_region_cache_bytes,
     resolve_result_pipeline,
     resolve_worker_count,
     validate_worker_count,
 )
 from repro.engine.plan import AlternativePlan, ComponentPlan, QueryPlan, TypeVariableBinder, compile_query
 from repro.engine.plan_cache import PlanCache, bgp_fingerprint
+from repro.engine.region_cache import (
+    DEFAULT_REGION_CACHE_BYTES,
+    RegionCache,
+    make_region_cache,
+)
 from repro.engine.shard_executor import ShardExecutor
 from repro.graph.labeled_graph import LabeledGraph
 from repro.graph.transform import (
@@ -147,6 +153,7 @@ class TurboBGPSolver(BGPSolver):
         executor: Optional[ShardExecutor] = None,
         result_pipeline: str = "batch",
         counters: Optional[PipelineCounters] = None,
+        region_cache: Optional[RegionCache] = None,
     ):
         self.graph = graph
         self.mapping = mapping
@@ -155,6 +162,11 @@ class TurboBGPSolver(BGPSolver):
         self.workers = workers
         self.plan_cache = plan_cache
         self.result_pipeline = result_pipeline
+        #: Cross-query candidate-region cache shared by the sequential
+        #: matcher and the thread pool (process shards hold per-worker
+        #: caches instead); keyed below by plan fingerprint + component
+        #: coordinates, so it is only consulted for fingerprinted plans.
+        self.region_cache = region_cache
         self.counters = counters if counters is not None else PipelineCounters()
         # The sequential matcher is stateless between calls and shared by
         # every component stream; the parallel pool (persistent worker
@@ -270,6 +282,19 @@ class TurboBGPSolver(BGPSolver):
                         choices = _merge_choices(choices, part.choices)
                 yield MatchedSolution(binding, choices)
 
+    def _region_key(
+        self, plan: QueryPlan, alternative_index: int, component_index: int
+    ):
+        """Stable region-cache key prefix for one plan component.
+
+        None (cache bypass) for unfingerprinted plans — without the
+        canonical fingerprint a key could not distinguish two different
+        BGPs, so only cacheable plans get region caching.
+        """
+        if self.region_cache is None or plan.fingerprint is None:
+            return None
+        return (plan.fingerprint, alternative_index, component_index)
+
     def _stream_component(
         self,
         plan: QueryPlan,
@@ -280,6 +305,8 @@ class TurboBGPSolver(BGPSolver):
         """Stream one component's solutions straight out of the matcher."""
         component = plan.alternatives[alternative_index].components[component_index]
         query = component.query
+        region_key = self._region_key(plan, alternative_index, component_index)
+        region_cache = self.region_cache if region_key is not None else None
         if self._executor is not None and query.vertex_count() > 1:
             solutions: Iterable[Solution] = self._executor.iter_component(
                 plan, alternative_index, component_index, deep_limit
@@ -290,6 +317,8 @@ class TurboBGPSolver(BGPSolver):
                 vertex_predicates=component.pushdown,
                 max_results=deep_limit,
                 prepared=component.prepared,
+                region_cache=region_cache,
+                region_key=region_key,
             )
         else:
             solutions = self._matcher.iter_match(
@@ -297,6 +326,8 @@ class TurboBGPSolver(BGPSolver):
                 vertex_predicates=component.pushdown,
                 max_results=deep_limit,
                 prepared=component.prepared,
+                region_cache=region_cache,
+                region_key=region_key,
             )
         for solution in solutions:
             self.counters.solutions += 1
@@ -392,6 +423,8 @@ class TurboBGPSolver(BGPSolver):
         """
         component = plan.alternatives[alternative_index].components[component_index]
         query = component.query
+        region_key = self._region_key(plan, alternative_index, component_index)
+        region_cache = self.region_cache if region_key is not None else None
         if self._executor is not None and query.vertex_count() > 1:
             solution_batches: Iterable[SolutionBatch] = (
                 self._executor.iter_component_batches(
@@ -404,6 +437,8 @@ class TurboBGPSolver(BGPSolver):
                 vertex_predicates=component.pushdown,
                 max_results=deep_limit,
                 prepared=component.prepared,
+                region_cache=region_cache,
+                region_key=region_key,
             )
         else:
             solution_batches = self._matcher.iter_match_batches(
@@ -411,6 +446,8 @@ class TurboBGPSolver(BGPSolver):
                 vertex_predicates=component.pushdown,
                 max_results=deep_limit,
                 prepared=component.prepared,
+                region_cache=region_cache,
+                region_key=region_key,
             )
         for solution_batch in solution_batches:
             self.counters.batches += 1
@@ -797,6 +834,7 @@ class TurboEngine(Engine):
         plan_cache_size: int = 128,
         execution_mode: Optional[str] = None,
         result_pipeline: Optional[str] = None,
+        region_cache_bytes: Optional[int] = None,
     ):
         super().__init__()
         self.type_aware = type_aware
@@ -831,6 +869,19 @@ class TurboEngine(Engine):
         self.plan_cache: Optional[PlanCache] = (
             PlanCache(plan_cache_size) if plan_cache_size else None
         )
+        #: Byte budget of the cross-query candidate-region cache.  ``None``
+        #: defers to ``REPRO_REGION_CACHE_BYTES`` and then the default;
+        #: ``0`` disables region caching.  Validated here, at construction.
+        self.region_cache_bytes = resolve_region_cache_bytes(
+            region_cache_bytes, DEFAULT_REGION_CACHE_BYTES
+        )
+        #: Engine-held region cache (sequential matcher + thread pool).  In
+        #: process mode each shard worker holds its own cache of the same
+        #: budget; region keys are plan fingerprints, so the cache is
+        #: invalidated together with the plan cache (and on load()).
+        self.region_cache: Optional[RegionCache] = make_region_cache(
+            self.region_cache_bytes
+        )
         #: Result-pipeline counters (batches/solutions moved), shared with
         #: the solver and reported by :meth:`stats`.
         self.pipeline_counters = PipelineCounters()
@@ -845,9 +896,13 @@ class TurboEngine(Engine):
             self.graph, self.mapping = type_aware_transform(store)
         else:
             self.graph, self.mapping = direct_transform(store)
-        # New graph: compiled plans and the worker pool are stale.
+        # New graph: compiled plans, cached regions and the worker pool are
+        # stale (shard workers restart with empty caches when the pool is
+        # rebuilt, so process mode needs no extra fan-out).
         if self.plan_cache is not None:
             self.plan_cache.clear()
+        if self.region_cache is not None:
+            self.region_cache.clear()
         self.close()
         self._solver = None
 
@@ -858,7 +913,8 @@ class TurboEngine(Engine):
             if self.workers > 1:
                 if self.execution_mode == "processes" and self._executor is None:
                     self._executor = ShardExecutor(
-                        self.graph, self.mapping, self.config, workers=self.workers
+                        self.graph, self.mapping, self.config, workers=self.workers,
+                        region_cache_bytes=self.region_cache_bytes,
                     )
                 elif self.execution_mode == "threads" and self._pool is None:
                     self._pool = ParallelMatcher(
@@ -875,11 +931,13 @@ class TurboEngine(Engine):
                 executor=self._executor,
                 result_pipeline=self.result_pipeline,
                 counters=self.pipeline_counters,
+                region_cache=self.region_cache,
             )
-        # Keep the memoized solver honest if the engine's cache was swapped
-        # or disabled after the first query.
+        # Keep the memoized solver honest if the engine's caches were
+        # swapped or disabled after the first query.
         self._solver.plan_cache = self.plan_cache
         self._solver.result_pipeline = self.result_pipeline
+        self._solver.region_cache = self.region_cache
         return self._solver
 
     def stats(self) -> Dict[str, object]:
@@ -889,6 +947,10 @@ class TurboEngine(Engine):
 
         * ``plan_cache`` — hits / misses / evictions / current size (None
           when caching is disabled),
+        * ``region_cache`` — cross-query candidate-region cache counters
+          (bytes held, entries, hits / misses / evictions; None when
+          disabled).  In process mode these are the *summed* per-worker
+          caches, refreshed by each worker's job-completion report,
         * ``pipeline`` — the active result pipeline plus batches/solutions
           pulled out of the matcher layer,
         * ``transport`` — in process mode, how results crossed the worker
@@ -914,10 +976,16 @@ class TurboEngine(Engine):
                 "shm_bytes": shard.shm_bytes,
                 "solutions": shard.solutions,
             }
+        region_cache: Optional[Dict[str, int]] = None
+        if self._executor is not None:
+            region_cache = self._executor.pool.region_cache_counters()
+        elif self.region_cache is not None:
+            region_cache = self.region_cache.counters()
         return {
             "execution_mode": self.execution_mode,
             "workers": self.workers,
             "plan_cache": plan_cache,
+            "region_cache": region_cache,
             "pipeline": {
                 "mode": self.result_pipeline,
                 "batches": self.pipeline_counters.batches,
@@ -951,6 +1019,7 @@ class TurboHomEngine(TurboEngine):
         execution_mode: Optional[str] = None,
         result_pipeline: Optional[str] = None,
         plan_cache_size: int = 128,
+        region_cache_bytes: Optional[int] = None,
     ):
         super().__init__(
             type_aware=False,
@@ -959,6 +1028,7 @@ class TurboHomEngine(TurboEngine):
             execution_mode=execution_mode,
             result_pipeline=result_pipeline,
             plan_cache_size=plan_cache_size,
+            region_cache_bytes=region_cache_bytes,
         )
 
 
@@ -974,6 +1044,7 @@ class TurboHomPPEngine(TurboEngine):
         execution_mode: Optional[str] = None,
         result_pipeline: Optional[str] = None,
         plan_cache_size: int = 128,
+        region_cache_bytes: Optional[int] = None,
     ):
         super().__init__(
             type_aware=True,
@@ -982,4 +1053,5 @@ class TurboHomPPEngine(TurboEngine):
             execution_mode=execution_mode,
             result_pipeline=result_pipeline,
             plan_cache_size=plan_cache_size,
+            region_cache_bytes=region_cache_bytes,
         )

@@ -19,9 +19,14 @@ The package implements the paper's algorithm family:
   result pipeline moves, and :mod:`~repro.matching.result_ring` — the
   shared-memory ring transporting it across process shards without
   pickling.
+* :mod:`~repro.matching.region_arena` — the flat, pooled candidate-region
+  storage the exploration pass writes and the explicit-stack
+  :class:`~repro.matching.subgraph_search.SubgraphSearcher` enumerates
+  (see ``docs/matching_core.md``).
 """
 
 from repro.matching.config import MatchConfig
+from repro.matching.region_arena import RegionArena
 from repro.matching.solution_batch import SOLUTION_BATCH_SIZE, SolutionBatch
 from repro.matching.turbo import (
     PreparedQuery,
@@ -41,6 +46,7 @@ from repro.matching.process_shard import (
 
 __all__ = [
     "MatchConfig",
+    "RegionArena",
     "SolutionBatch",
     "SOLUTION_BATCH_SIZE",
     "ShardTransportStats",

@@ -1,15 +1,26 @@
-"""``ExploreCandidateRegion`` (Algorithm 1, line 9).
+"""``ExploreCandidateRegion`` (Algorithm 1, line 9) over the region arena.
 
 A candidate region is the portion of the data graph reachable from one start
 data vertex by following the query tree's topology.  The structure mirrors
-``CR(u, v)`` of Algorithm 2: for each non-root query vertex ``u`` and each
-data vertex ``v`` matched to ``u``'s parent, the sorted list of candidate
-data vertices for ``u``.
+``CR(u, v)`` of Algorithm 2 — for each non-root query vertex ``u`` and each
+data vertex ``v`` matched to ``u``'s parent, the sorted candidates for ``u``
+— but lives in a flat, reusable :class:`~repro.matching.region_arena.
+RegionArena` instead of a dict of lists, so steady-state exploration
+allocates nothing (see ``docs/matching_core.md``).
 
 Exploration prunes eagerly: a candidate survives only if every child query
 vertex below it also has at least one candidate, so the region sizes reported
 to ``DetermineMatchingOrder`` are close to the true selectivities — this is
-the property that makes TurboISO's matching orders accurate.
+the property that makes TurboISO's matching orders accurate.  The old
+recursive dict-filling pass is now a single iterative loop over explicit
+frames: each child's adjacency window is filtered straight into the arena
+pool as a *tentative* span, candidates whose subtrees fail are compacted out
+in place, and the surviving prefix is committed as the key's slice.  The
+``(u, v)`` memo of the recursive version (a data vertex reachable through
+several branches is expanded only once; injectivity is deliberately *not*
+enforced here — SubgraphSearch applies it exhaustively) is the arena's
+slices dict itself, with :data:`~repro.matching.region_arena.FAILED`
+recording empty explorations.
 
 Adjacency is consumed as zero-copy CSR windows
 (:meth:`LabeledGraph.neighbors_by_type_window`), and the degree / NLF filter
@@ -19,81 +30,21 @@ instead of once per candidate region or per candidate.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional
 
 from repro.graph.labeled_graph import LabeledGraph
-from repro.graph.query_graph import QueryGraph, QueryVertex
+from repro.graph.query_graph import QueryGraph
 from repro.matching.config import MatchConfig
 from repro.matching.filters import VertexRequirements, passes_filters, vertex_requirements
-from repro.matching.query_tree import QueryTree, TreeEdge
-from repro.utils.intersect import Window
+from repro.matching.query_tree import QueryTree
+from repro.matching.region_arena import FAILED, RegionArena
 
 #: Optional per-query-vertex data-vertex predicate (inexpensive FILTER push-down).
 VertexPredicate = Callable[[int], bool]
 
-
-class CandidateRegion:
-    """Candidate vertices grouped by (query vertex, parent data vertex)."""
-
-    def __init__(self, start_query_vertex: int, start_data_vertex: int):
-        self.start_query_vertex = start_query_vertex
-        self.start_data_vertex = start_data_vertex
-        self._candidates: Dict[Tuple[int, int], List[int]] = {}
-        self._counts: Dict[int, int] = {}
-
-    def set(self, query_vertex: int, parent_data_vertex: int, candidates: List[int]) -> None:
-        """Record the candidate list for (query vertex, parent data vertex).
-
-        Idempotent: re-recording the same key (which happens when memoized
-        sub-explorations are reused) does not double-count the region size.
-        """
-        key = (query_vertex, parent_data_vertex)
-        if key in self._candidates:
-            return
-        self._candidates[key] = candidates
-        self._counts[query_vertex] = self._counts.get(query_vertex, 0) + len(candidates)
-
-    def get(self, query_vertex: int, parent_data_vertex: int) -> List[int]:
-        """Candidate list for (query vertex, parent data vertex)."""
-        return self._candidates.get((query_vertex, parent_data_vertex), [])
-
-    def count(self, query_vertex: int) -> int:
-        """Total number of candidate vertices recorded for a query vertex."""
-        return self._counts.get(query_vertex, 0)
-
-    def size(self) -> int:
-        """Total number of candidate vertices in the region (all query vertices)."""
-        return sum(self._counts.values())
-
-    def __bool__(self) -> bool:
-        return True
-
-
-def _edge_label_for_matching(edge_label: Optional[int]) -> Optional[int]:
-    """Map a query edge label to the adjacency look-up argument.
-
-    ``None`` (predicate variable) stays ``None`` = any edge label;
-    non-negative ids are used as-is; the IMPOSSIBLE sentinel (-1) is also
-    passed through, where it simply finds no adjacency group.
-    """
-    return edge_label
-
-
-def _child_candidate_window(
-    graph: LabeledGraph,
-    query: QueryGraph,
-    tree_edge: TreeEdge,
-    parent_data_vertex: int,
-) -> Window:
-    """Adjacent data vertices satisfying the child's labels, as a window."""
-    child_vertex: QueryVertex = query.vertices[tree_edge.child]
-    labels: FrozenSet[int] = child_vertex.labels
-    return graph.neighbors_by_type_window(
-        parent_data_vertex,
-        _edge_label_for_matching(tree_edge.edge.label),
-        labels,
-        outgoing=tree_edge.outgoing_from_parent,
-    )
+#: ``frame[7]`` value meaning "no tentative span under validation" — the
+#: frame is between children, ready to start the next one.
+_IDLE = -1
 
 
 def query_requirements(
@@ -121,68 +72,168 @@ def explore_candidate_region(
     start_data_vertex: int,
     vertex_predicates: Optional[Dict[int, VertexPredicate]] = None,
     requirements: Optional[Dict[int, VertexRequirements]] = None,
-) -> Optional[CandidateRegion]:
+    arena: Optional[RegionArena] = None,
+) -> Optional[RegionArena]:
     """Explore the candidate region rooted at ``start_data_vertex``.
 
     Returns ``None`` when the region is empty (some query vertex has no
     candidate anywhere below the start vertex), matching the "if CR is not
-    empty" test of Algorithm 1.
+    empty" test of Algorithm 1.  ``arena`` supplies a reusable
+    :class:`RegionArena` (typically from :func:`~repro.matching.
+    region_arena.acquire_arena`); when omitted a fresh one is created.  The
+    returned region *is* that arena — it stays valid until the next
+    ``begin`` on it, i.e. until the caller explores its next region.
     """
     predicates = vertex_predicates or {}
-    region = CandidateRegion(tree.root, start_data_vertex)
-    homomorphism = config.homomorphism
-    use_filters = config.use_degree_filter or config.use_nlf_filter
     if requirements is None:
         requirements = query_requirements(query, config)
-    # Memoize (query vertex, parent data vertex) explorations — a data vertex
-    # reachable through several branches is expanded only once.  Injectivity
-    # is not enforced during exploration (it would make candidate lists
-    # path-dependent and lose solutions for the shared CR(u, v) structure);
-    # SubgraphSearch applies the injectivity test exhaustively.
-    memo: Dict[Tuple[int, int], Optional[List[int]]] = {}
+    if arena is None:
+        arena = RegionArena()
+    stride = graph.vertex_count
+    arena.begin(tree.root, start_data_vertex, query.vertex_count(), stride)
 
-    def explore(query_vertex: int, data_vertex: int) -> bool:
-        """Explore all children of ``query_vertex`` below ``data_vertex``."""
-        for child in tree.children.get(query_vertex, []):
-            key = (child, data_vertex)
-            if key in memo:
-                cached = memo[key]
-                if cached is None:
-                    return False
-                region.set(child, data_vertex, cached)
+    homomorphism = config.homomorphism
+    use_degree = config.use_degree_filter
+    use_nlf = config.use_nlf_filter
+    use_filters = use_degree or use_nlf
+    children_of = tree.children
+    tree_edges = tree.tree_edges
+    vertices = query.vertices
+    slices = arena.slices
+    pool = arena.pool
+    neighbors_window = graph.neighbors_by_type_window
+
+    # One frame per in-progress ``explore(query_vertex, data_vertex)`` of the
+    # old recursion (bounded by the query-tree depth, not the data graph):
+    #   [0] query_vertex   [1] data_vertex   [2] next child position
+    #   [3] current child  [4] current child's slices key
+    #   [5] tentative span lo (pool index)   [6] tentative span length
+    #   [7] read cursor (_IDLE between children)   [8] write cursor
+    # While a tentative span is validated, nested frames append their own
+    # spans beyond it; failed candidates are compacted out in place (the
+    # write cursor never passes the read cursor), and the surviving prefix
+    # [lo, lo + write) is committed.
+    frames: List[List[int]] = [
+        [tree.root, start_data_vertex, 0, -1, -1, 0, 0, _IDLE, 0]
+    ]
+    returning = False
+    result = True
+
+    while frames:
+        frame = frames[-1]
+        if returning:
+            returning = False
+            # A nested frame validated pool[span_lo + read] with ``result``.
+            read = frame[7]
+            if result:
+                span_lo = frame[5]
+                write = frame[8]
+                pool[span_lo + write] = pool[span_lo + read]
+                frame[8] = write + 1
+            frame[7] = read + 1
+
+        query_vertex = frame[0]
+        data_vertex = frame[1]
+        outcome: Optional[bool] = None
+        while outcome is None:
+            read = frame[7]
+            if read == _IDLE:
+                # Between children: start the next one (or finish the frame).
+                children = children_of[query_vertex]
+                position = frame[2]
+                if position >= len(children):
+                    outcome = True
+                    continue
+                child = children[position]
+                frame[2] = position + 1
+                key = child * stride + data_vertex
+                slot = slices.get(key)
+                if slot is not None:
+                    # Memoized: reachable through several branches, expanded once.
+                    if slot < 0:
+                        outcome = False
+                    continue
+                tree_edge = tree_edges[child]
+                child_vertex = vertices[child]
+                base, lo, hi = neighbors_window(
+                    data_vertex,
+                    tree_edge.edge.label,
+                    child_vertex.labels,
+                    outgoing=tree_edge.outgoing_from_parent,
+                )
+                pinned = child_vertex.vertex_id
+                child_predicate = predicates.get(child)
+                child_requirements = requirements.get(child)
+                # Grow-only pool writes, inlined: one branch per candidate
+                # instead of one method call (this is the innermost loop of
+                # the whole exploration pass).
+                span_lo = arena.tail
+                tail = span_lo
+                pool_len = len(pool)
+                for index in range(lo, hi):
+                    candidate = base[index]
+                    if pinned is not None and candidate != pinned:
+                        continue
+                    if child_predicate is not None and not child_predicate(candidate):
+                        continue
+                    if use_filters and not passes_filters(
+                        graph,
+                        query,
+                        child,
+                        candidate,
+                        homomorphism,
+                        use_degree,
+                        use_nlf,
+                        child_requirements,
+                    ):
+                        continue
+                    if tail < pool_len:
+                        pool[tail] = candidate
+                    else:
+                        pool.append(candidate)
+                        pool_len += 1
+                    tail += 1
+                arena.tail = tail
+                span_len = tail - span_lo
+                if span_len == 0:
+                    slices[key] = FAILED
+                    outcome = False
+                    continue
+                if not children_of[child]:
+                    # Leaf child: every filtered candidate is final.
+                    arena.commit(child, key, span_lo, span_lo + span_len)
+                    continue
+                frame[3] = child
+                frame[4] = key
+                frame[5] = span_lo
+                frame[6] = span_len
+                frame[7] = 0
+                frame[8] = 0
                 continue
-            tree_edge = tree.tree_edges[child]
-            base, lo, hi = _child_candidate_window(graph, query, tree_edge, data_vertex)
-            child_vertex = query.vertices[child]
-            pinned = child_vertex.vertex_id
-            child_predicate = predicates.get(child)
-            child_requirements = requirements.get(child)
-            valid: List[int] = []
-            for index in range(lo, hi):
-                candidate = base[index]
-                if pinned is not None and candidate != pinned:
+            # Validating the current child's tentative span.
+            if read >= frame[6]:
+                child = frame[3]
+                key = frame[4]
+                write = frame[8]
+                frame[7] = _IDLE
+                if write == 0:
+                    slices[key] = FAILED
+                    outcome = False
                     continue
-                if child_predicate is not None and not child_predicate(candidate):
-                    continue
-                if use_filters and not passes_filters(
-                    graph,
-                    query,
-                    child,
-                    candidate,
-                    homomorphism,
-                    config.use_degree_filter,
-                    config.use_nlf_filter,
-                    child_requirements,
-                ):
-                    continue
-                if explore(child, candidate):
-                    valid.append(candidate)
-            memo[key] = valid if valid else None
-            if not valid:
-                return False
-            region.set(child, data_vertex, valid)
-        return True
+                span_lo = frame[5]
+                arena.commit(child, key, span_lo, span_lo + write)
+                continue
+            # Descend into the subtree below pool[span_lo + read].
+            frames.append(
+                [frame[3], pool[frame[5] + read], 0, -1, -1, 0, 0, _IDLE, 0]
+            )
+            break
+        if outcome is None:
+            continue  # descended into a nested frame
+        frames.pop()
+        result = outcome
+        returning = True
 
-    if not explore(tree.root, start_data_vertex):
+    if not result:
         return None
-    return region
+    return arena

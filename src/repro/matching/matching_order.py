@@ -21,8 +21,8 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from repro.matching.candidate_region import CandidateRegion
 from repro.matching.query_tree import QueryTree
+from repro.matching.region_arena import RegionArena
 
 
 class OrderCache:
@@ -41,14 +41,23 @@ class OrderCache:
         self.order = order
 
 
-def path_cardinality(region: CandidateRegion, path: List[int]) -> int:
-    """Number of candidate vertices a query path touches in the region."""
-    return sum(region.count(vertex) for vertex in path[1:])
+def path_cardinality(region: RegionArena, path: List[int]) -> int:
+    """Number of candidate vertices a query path touches in the region.
+
+    Reads the arena's flat per-query-vertex count array — no dict walk.
+    """
+    counts = region.counts
+    width = region.width
+    total = 0
+    for vertex in path[1:]:
+        if vertex < width:
+            total += counts[vertex]
+    return total
 
 
 def determine_matching_order(
     tree: QueryTree,
-    region: CandidateRegion,
+    region: RegionArena,
     cache: Optional[OrderCache] = None,
 ) -> List[int]:
     """Compute the matching order for one candidate region.

@@ -119,6 +119,8 @@ class _MatchJob:
         predicates: Dict[int, VertexPredicate],
         chunk_size: int,
         expected_workers: int,
+        region_cache=None,
+        region_key=None,
     ):
         self.graph = graph
         self.config = config
@@ -127,6 +129,10 @@ class _MatchJob:
         self.predicates = predicates
         self.root_predicate = predicates.get(prepared.start_vertex)
         self.expected_workers = expected_workers
+        #: Cross-query region cache (the engine's, shared by every worker
+        #: thread) plus the stable per-(query, config) key prefix.
+        self.region_cache = region_cache
+        self.region_key = region_key
 
         # Dynamic chunking: workers repeatedly pop small chunks of starting
         # vertices, which evens out skewed candidate-region sizes.
@@ -188,6 +194,7 @@ class _MatchJob:
                     self.graph, self.config, self.query, self.prepared,
                     self.predicates, self.root_predicate, chunk,
                     emit=self.emit, stopped=self.stop.is_set,
+                    region_cache=self.region_cache, region_key=self.region_key,
                 )
                 local_work += chunk_work
                 local_chunk_work.append(chunk_work)
@@ -325,10 +332,12 @@ class ParallelMatcher:
         vertex_predicates: Optional[Dict[int, VertexPredicate]] = None,
         max_results: Optional[int] = None,
         prepared: Optional[PreparedQuery] = None,
+        region_cache=None,
+        region_key=None,
     ) -> Iterator[Solution]:
         """Stream solutions one at a time (row adapter over the batches)."""
         for batch in self.iter_match_batches(
-            query, vertex_predicates, max_results, prepared
+            query, vertex_predicates, max_results, prepared, region_cache, region_key
         ):
             yield from batch.iter_rows()
 
@@ -338,6 +347,8 @@ class ParallelMatcher:
         vertex_predicates: Optional[Dict[int, VertexPredicate]] = None,
         max_results: Optional[int] = None,
         prepared: Optional[PreparedQuery] = None,
+        region_cache=None,
+        region_key=None,
     ) -> Iterator[SolutionBatch]:
         """Stream columnar solution batches as the pool workers produce them.
 
@@ -379,7 +390,8 @@ class ParallelMatcher:
                 )
 
             yield from run_sequential_batches(
-                self.graph, self.config, query, predicates, limit, prepared, publish
+                self.graph, self.config, query, predicates, limit, prepared, publish,
+                region_cache=region_cache, region_key=region_key,
             )
             return
 
@@ -388,6 +400,7 @@ class ParallelMatcher:
         job = _MatchJob(
             self.graph, self.config, query, prepared, predicates,
             self.chunk_size, self.workers,
+            region_cache=region_cache, region_key=region_key,
         )
         self._ensure_pool()
         # Jobs are serialized per pool: a predecessor whose stream was left

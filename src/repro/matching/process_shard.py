@@ -186,20 +186,30 @@ def _shard_worker_main(
     cancel,
     ring_manifest: Optional[Tuple[str, int]],
     ring_free,
+    region_cache_bytes: int = 0,
 ) -> None:
     """Long-lived worker process: attach the graph once, then serve jobs.
 
     The control queue is per worker (job headers are broadcast, ``None`` is
     the shutdown sentinel); the chunk queue is shared for dynamic load
     balancing.  ``ring_manifest``/``ring_free`` describe this worker's
-    result ring (``None`` disables it and forces the queue fallback).  The
-    worker intentionally never unlinks the shared segments — the exporting
-    process owns them.
+    result ring (``None`` disables it and forces the queue fallback).
+    ``region_cache_bytes`` sizes this worker's private cross-query region
+    cache (0 disables it); its hit/miss/eviction counters travel back as a
+    cumulative snapshot on every ``done`` message.  The worker intentionally
+    never unlinks the shared segments — the exporting process owns them.
     """
     graph, shm = LabeledGraph.attach_shared(manifest)
     ring = RingWriter(ring_manifest, ring_free) if ring_manifest is not None else None
     context = pickle.loads(context_bytes) if context_bytes is not None else None
     cache: "OrderedDict[Any, ShardPayload]" = OrderedDict()
+    region_cache = None
+    if region_cache_bytes:
+        # Lazy import: the engine layer imports this module at its own
+        # import time, so the upward import must not run at module scope.
+        from repro.engine.region_cache import RegionCache
+
+        region_cache = RegionCache(region_cache_bytes)
     try:
         while True:
             message = control.get()
@@ -279,13 +289,24 @@ def _shard_worker_main(
                         payload.predicates, payload.root_predicate,
                         payload.prepared.start_candidates[lo:hi],
                         emit=emit, stopped=stopped,
+                        region_cache=region_cache, region_key=plan_key,
                     )
                     work += chunk_work
                     chunk_works.append(chunk_work)
                 except BaseException as exc:  # noqa: BLE001 - reported to the consumer
                     _put_error(results, job_id, worker_index, exc, cancel)
                     failed = True
-            _put_message(results, ("done", job_id, worker_index, work, chunk_works), cancel)
+            cache_counters = (
+                (region_cache.hits, region_cache.misses, region_cache.evictions,
+                 region_cache.current_bytes, len(region_cache))
+                if region_cache is not None
+                else None
+            )
+            _put_message(
+                results,
+                ("done", job_id, worker_index, work, chunk_works, cache_counters),
+                cancel,
+            )
     finally:
         # Release every memoryview into the segments before closing them:
         # the graph's CSR views (and any frames still holding them) must be
@@ -382,6 +403,7 @@ class ProcessShardPool:
         start_method: Optional[str] = None,
         worker_context: Any = None,
         ring_slots: int = DEFAULT_RING_SLOTS,
+        region_cache_bytes: int = 0,
     ):
         self.graph = graph
         self.config = config if config is not None else MatchConfig.turbo_hom_pp()
@@ -390,8 +412,13 @@ class ProcessShardPool:
         self.start_method = start_method
         self.worker_context = worker_context
         self.ring_slots = max(0, ring_slots)
+        self.region_cache_bytes = max(0, region_cache_bytes)
         self.last_stats: Optional[ParallelStats] = None
         self.transport = ShardTransportStats()
+        #: Latest cumulative region-cache counter snapshot per worker index
+        #: (``(hits, misses, evictions, bytes, entries)``), refreshed by
+        #: every ``done`` message; :meth:`region_cache_counters` sums them.
+        self._region_counters: Dict[int, Tuple[int, int, int, int, int]] = {}
         self._job_ids = itertools.count(1)
         self._processes: List[Any] = []
         self._controls: List[Any] = []
@@ -447,6 +474,7 @@ class ProcessShardPool:
                     self._controls[index], self._chunks, self._results, self._cancel,
                     self._rings[index].manifest if self._rings else None,
                     self._rings[index].free if self._rings else None,
+                    self.region_cache_bytes,
                 ),
                 name=f"turbohom-shard-{index}",
                 daemon=True,
@@ -486,6 +514,34 @@ class ProcessShardPool:
         self._rings = []
         self._shipped = OrderedDict()
         self._broken = False
+        # The workers (and their private region caches) are gone; stale
+        # cumulative snapshots must not survive into the next pool.
+        self._region_counters = {}
+
+    def region_cache_counters(self) -> Optional[Dict[str, int]]:
+        """Aggregate region-cache counters across the shard workers.
+
+        None when the per-worker caches are disabled; otherwise the summed
+        hits/misses/evictions plus total cached bytes/entries, in the shape
+        :meth:`TurboEngine.stats` reports.
+        """
+        if not self.region_cache_bytes:
+            return None
+        hits = misses = evictions = nbytes = entries = 0
+        for snapshot in self._region_counters.values():
+            hits += snapshot[0]
+            misses += snapshot[1]
+            evictions += snapshot[2]
+            nbytes += snapshot[3]
+            entries += snapshot[4]
+        return {
+            "capacity_bytes": self.region_cache_bytes * self.workers,
+            "bytes": nbytes,
+            "entries": entries,
+            "hits": hits,
+            "misses": misses,
+            "evictions": evictions,
+        }
 
     def _mark_broken(self) -> None:
         """Remember that the pool must be rebuilt before its next job."""
@@ -619,6 +675,8 @@ class ProcessShardPool:
                 job.done_workers.add(message[2])
                 job.per_worker_work[message[2]] += message[3]
                 job.per_chunk_work.extend(message[4])
+                if message[5] is not None:
+                    self._region_counters[message[2]] = message[5]
             elif kind == "error":
                 exc_bytes, text = message[3], message[4]
                 if exc_bytes is not None:
@@ -756,6 +814,8 @@ class ProcessShardPool:
                 job.done_workers.add(message[2])
                 job.per_worker_work[message[2]] += message[3]
                 job.per_chunk_work.extend(message[4])
+                if message[5] is not None:
+                    self._region_counters[message[2]] = message[5]
             elif kind == "error":
                 # Late errors after a stop are recorded but (matching the
                 # thread pool) not raised.

@@ -1,0 +1,231 @@
+"""Flat, reusable candidate-region storage (the region arena).
+
+The candidate region of Algorithm 2 — ``CR(u, v)``: for each non-root query
+vertex ``u`` and each data vertex ``v`` matched to ``u``'s parent, the sorted
+candidates for ``u`` — used to be a Python dict keyed by ``(u, v)`` tuples
+holding one freshly allocated list per key.  On the serving hot path that
+meant two dicts, one tuple and one list allocation *per region key*, for
+structures that live only as long as one region's subgraph search.
+
+:class:`RegionArena` replaces that with a CSR-style layout:
+
+* **pool** — one growable ``array('q')`` holding every candidate of the
+  region back to back; a key's candidates are the contiguous run
+  ``pool[lo:hi]`` (sorted, because adjacency windows are sorted and the
+  exploration pass preserves order),
+* **spans** — a flat ``array('q')`` of ``(lo, hi)`` pairs, one *slot* per
+  recorded key,
+* **slices** — an int-keyed dict ``u * stride + v → slot`` (no tuple keys;
+  ``stride`` is the data-graph vertex count).  The same dict doubles as the
+  exploration memo: a negative slot records that ``(u, v)`` was explored and
+  found empty, so the merged structure replaces the old separate memo dict,
+* **counts** — per-query-vertex candidate totals, read by
+  :func:`~repro.matching.matching_order.path_cardinality`.
+
+All buffers are *grow-only* and the arena is reused across consecutive
+regions (:meth:`begin` resets the logical tails without freeing anything),
+so steady-state candidate-region exploration allocates nothing.  Arenas are
+pooled per thread (:func:`acquire_arena` / :func:`release_arena`); the
+region cache stores frozen :meth:`snapshot` copies that searchers read
+concurrently without touching the working arena.
+"""
+
+from __future__ import annotations
+
+import threading
+from array import array
+from typing import Dict, List
+
+#: ``slices`` value marking a key that was explored and found empty (the
+#: negative-result half of the old exploration memo).
+FAILED = -1
+
+#: Bytes per pool/span slot (``array('q')`` / int64).
+SLOT_BYTES = 8
+
+#: Estimated bytes one ``slices`` entry costs beyond the flat arrays (dict
+#: table share + boxed ints), used by the byte-bounded region cache.
+_DICT_ENTRY_BYTES = 80
+
+#: Cache marker for "this start vertex was explored and its region is
+#: empty" — a negative result worth remembering (Algorithm 1 skips the
+#: start vertex without any search).  Lives here, not in the engine-layer
+#: cache module, so the matching layer can recognize it without an upward
+#: import.
+EMPTY_REGION = object()
+
+
+class RegionArena:
+    """CSR-style candidate-region storage, reusable across regions."""
+
+    __slots__ = (
+        "start_query_vertex",
+        "start_data_vertex",
+        "stride",
+        "pool",
+        "tail",
+        "spans",
+        "slot_count",
+        "slices",
+        "counts",
+        "width",
+        "frozen",
+    )
+
+    def __init__(self) -> None:
+        self.start_query_vertex = -1
+        self.start_data_vertex = -1
+        #: Data-graph vertex count; ``slices`` keys are ``u * stride + v``.
+        self.stride = 0
+        self.pool = array("q")
+        #: Logical end of the pool (the physical array never shrinks).
+        self.tail = 0
+        self.spans = array("q")
+        self.slot_count = 0
+        self.slices: Dict[int, int] = {}
+        self.counts = array("q")
+        self.width = 0
+        #: Snapshots handed to the region cache are frozen: shared, read-only.
+        self.frozen = False
+
+    # ------------------------------------------------------------- lifecycle
+    def begin(
+        self, start_query_vertex: int, start_data_vertex: int, width: int, stride: int
+    ) -> None:
+        """Reset for a fresh region without releasing any buffer."""
+        if self.frozen:
+            raise RuntimeError("cannot reuse a frozen (cached) region arena")
+        self.start_query_vertex = start_query_vertex
+        self.start_data_vertex = start_data_vertex
+        self.stride = stride
+        self.tail = 0
+        self.slot_count = 0
+        self.slices.clear()
+        counts = self.counts
+        if len(counts) < width:
+            counts.extend([0] * (width - len(counts)))
+        for index in range(width):
+            counts[index] = 0
+        self.width = width
+
+    # -------------------------------------------------------------- writing
+    def push(self, value: int) -> None:
+        """Append one candidate to the pool (grow-only overwrite)."""
+        tail = self.tail
+        if tail < len(self.pool):
+            self.pool[tail] = value
+        else:
+            self.pool.append(value)
+        self.tail = tail + 1
+
+    def commit(self, query_vertex: int, key: int, lo: int, hi: int) -> int:
+        """Record ``pool[lo:hi]`` as the candidates of ``key``; returns the slot."""
+        slot = self.slot_count
+        index = 2 * slot
+        spans = self.spans
+        if index < len(spans):
+            spans[index] = lo
+            spans[index + 1] = hi
+        else:
+            spans.append(lo)
+            spans.append(hi)
+        self.slot_count = slot + 1
+        self.slices[key] = slot
+        self.counts[query_vertex] += hi - lo
+        return slot
+
+    # -------------------------------------------------------------- reading
+    def get_slice(self, query_vertex: int, parent_data_vertex: int) -> tuple:
+        """``(lo, hi)`` pool bounds for a key; ``(0, 0)`` when absent/failed."""
+        slot = self.slices.get(query_vertex * self.stride + parent_data_vertex, FAILED)
+        if slot < 0:
+            return (0, 0)
+        index = 2 * slot
+        return (self.spans[index], self.spans[index + 1])
+
+    def get(self, query_vertex: int, parent_data_vertex: int) -> List[int]:
+        """Candidate list for a key, materialized (tests / cold paths only)."""
+        lo, hi = self.get_slice(query_vertex, parent_data_vertex)
+        return list(self.pool[lo:hi])
+
+    def count(self, query_vertex: int) -> int:
+        """Total number of candidate vertices recorded for a query vertex."""
+        if query_vertex >= self.width:
+            return 0
+        return self.counts[query_vertex]
+
+    def size(self) -> int:
+        """Total number of candidate vertices in the region (all query vertices)."""
+        total = 0
+        counts = self.counts
+        for index in range(self.width):
+            total += counts[index]
+        return total
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate live bytes, the unit the byte-bounded cache budgets."""
+        return (
+            self.tail * SLOT_BYTES
+            + self.slot_count * 2 * SLOT_BYTES
+            + len(self.slices) * _DICT_ENTRY_BYTES
+        )
+
+    # ------------------------------------------------------------ snapshots
+    def snapshot(self) -> "RegionArena":
+        """A frozen, trimmed copy safe to share across queries and threads.
+
+        The copy owns its own arrays (trimmed to the logical tails, dead
+        validation slack included) and a copied slices dict; it is marked
+        frozen so no exploration pass can ever ``begin`` on it again.
+        """
+        copy = RegionArena.__new__(RegionArena)
+        copy.start_query_vertex = self.start_query_vertex
+        copy.start_data_vertex = self.start_data_vertex
+        copy.stride = self.stride
+        copy.pool = self.pool[: self.tail]
+        copy.tail = self.tail
+        copy.spans = self.spans[: 2 * self.slot_count]
+        copy.slot_count = self.slot_count
+        copy.slices = dict(self.slices)
+        copy.counts = self.counts[: self.width]
+        copy.width = self.width
+        copy.frozen = True
+        return copy
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return (
+            f"RegionArena(start={self.start_query_vertex}@{self.start_data_vertex}, "
+            f"keys={len(self.slices)}, candidates={self.size()}, frozen={self.frozen})"
+        )
+
+
+# ----------------------------------------------------------------- pooling
+#: Per-thread free list so worker threads never contend on a lock for what
+#: is a pure allocation amortization.
+_local = threading.local()
+
+#: Arenas kept per thread; beyond this, released arenas are dropped so one
+#: pathological burst cannot pin memory forever.
+MAX_POOLED_ARENAS = 4
+
+
+def acquire_arena() -> RegionArena:
+    """A reusable arena from this thread's pool (fresh when the pool is dry)."""
+    free = getattr(_local, "arenas", None)
+    if free:
+        return free.pop()
+    return RegionArena()
+
+
+def release_arena(arena: RegionArena) -> None:
+    """Return a working arena to this thread's pool (frozen arenas are not
+    poolable and are silently dropped)."""
+    if arena.frozen:
+        return
+    free = getattr(_local, "arenas", None)
+    if free is None:
+        free = []
+        _local.arenas = free
+    if len(free) < MAX_POOLED_ARENAS:
+        free.append(arena)

@@ -38,8 +38,13 @@ from repro.graph.query_graph import QueryGraph
 from repro.matching.candidate_region import VertexPredicate, explore_candidate_region
 from repro.matching.config import MatchConfig
 from repro.matching.matching_order import determine_matching_order
+from repro.matching.region_arena import EMPTY_REGION, acquire_arena, release_arena
 from repro.matching.solution_batch import SOLUTION_BATCH_SIZE, SolutionBatch
-from repro.matching.subgraph_search import SearchStatistics, subgraph_search_iter
+from repro.matching.subgraph_search import (
+    SearchStatistics,
+    acquire_searcher,
+    release_searcher,
+)
 from repro.matching.turbo import PreparedQuery, TurboMatcher
 
 #: How long the consumer waits for one batch before re-checking liveness.
@@ -66,60 +71,85 @@ def run_chunk(
     chunk: Sequence[int],
     emit: Callable[[SolutionBatch], bool],
     stopped: Callable[[], bool],
+    region_cache=None,
+    region_key=None,
 ) -> int:
     """Match every start data vertex of one chunk, emitting solution batches.
 
     This is the worker-side matching core of Algorithm 1's start-vertex loop
     (lines 9–15), shared verbatim by the thread pool and the process pool.
-    Solutions are packed straight into columnar batches as the search yields
-    them; ``emit`` delivers one batch to the consumer and returns False once
-    the consumer stopped (result limit reached / generator abandoned);
-    ``stopped`` is polled between candidate regions so cancellation takes
-    effect promptly.  Returns the chunk's work units (candidate-region
-    vertices explored plus search recursions), the load-balance quantity the
-    Figure 16 benchmark reports.
+    One pooled region arena and one explicit-stack searcher serve the whole
+    chunk: exploration writes into the arena, the searcher packs solutions
+    straight into the columnar batch under construction (no per-solution
+    lists), and both buffers are reused region after region.  ``emit``
+    delivers one batch to the consumer and returns False once the consumer
+    stopped (result limit reached / generator abandoned); ``stopped`` is
+    polled between candidate regions so cancellation takes effect promptly.
+    ``region_cache``/``region_key`` enable cross-query region reuse exactly
+    as in :meth:`TurboMatcher.iter_match_batches` — the thread pool shares
+    the engine's cache, each process-shard worker holds its own.  Returns
+    the chunk's work units (candidate-region vertices explored plus search
+    recursions), the load-balance quantity the Figure 16 benchmark reports.
     """
     work = 0
     order_cache = prepared.order_cache if config.reuse_matching_order else None
     tree = prepared.tree
     width = query.vertex_count()
-    for start_data_vertex in chunk:
-        # Per-region stop check: cancellation takes effect between regions
-        # (and, below, between batches).
-        if stopped():
-            break
-        if root_predicate is not None and not root_predicate(start_data_vertex):
-            continue
-        region = explore_candidate_region(
-            graph, query, tree, config, start_data_vertex, predicates,
-            prepared.requirements,
-        )
-        if region is None:
-            continue
-        work += region.size()
-        order = determine_matching_order(tree, region, order_cache)
-        search_stats = SearchStatistics()
-        # Stream the region's solutions out in fixed-size columnar batches
-        # rather than materializing the whole region: bounds worker memory
-        # on combinatorial regions and lets the stop signal interrupt
-        # mid-region.
-        columns = SolutionBatch.collector(width)
-        rows = 0
-        for solution in subgraph_search_iter(
-            graph, query, tree, region, order, config, search_stats,
-        ):
-            for index in range(width):
-                columns[index].append(solution[index])
-            rows += 1
-            if rows >= SOLUTION_BATCH_SIZE:
-                if not emit(SolutionBatch(columns, rows)):
+    caching = region_cache is not None and region_key is not None
+    arena = acquire_arena()
+    searcher = acquire_searcher()
+    try:
+        for start_data_vertex in chunk:
+            # Per-region stop check: cancellation takes effect between
+            # regions (and, below, between batches).
+            if stopped():
+                break
+            if root_predicate is not None and not root_predicate(start_data_vertex):
+                continue
+            if caching:
+                region = region_cache.lookup((region_key, start_data_vertex))
+                if region is None:
+                    region = explore_candidate_region(
+                        graph, query, tree, config, start_data_vertex, predicates,
+                        prepared.requirements, arena,
+                    )
+                    region_cache.store(
+                        (region_key, start_data_vertex),
+                        EMPTY_REGION if region is None else region.snapshot(),
+                    )
+                elif region is EMPTY_REGION:
+                    region = None
+            else:
+                region = explore_candidate_region(
+                    graph, query, tree, config, start_data_vertex, predicates,
+                    prepared.requirements, arena,
+                )
+            if region is None:
+                continue
+            work += region.size()
+            order = determine_matching_order(tree, region, order_cache)
+            search_stats = SearchStatistics()
+            searcher.reset(graph, query, tree, region, order, config, search_stats)
+            # Stream the region's solutions out in fixed-size columnar
+            # batches rather than materializing the whole region: bounds
+            # worker memory on combinatorial regions and lets the stop
+            # signal interrupt mid-region.
+            columns = SolutionBatch.collector(width)
+            rows = 0
+            while not searcher.exhausted:
+                rows += searcher.fill(columns, SOLUTION_BATCH_SIZE - rows)
+                if rows >= SOLUTION_BATCH_SIZE:
+                    if not emit(SolutionBatch(columns, rows)):
+                        rows = 0
+                        break
+                    columns = SolutionBatch.collector(width)
                     rows = 0
-                    break
-                columns = SolutionBatch.collector(width)
-                rows = 0
-        if rows:
-            emit(SolutionBatch(columns, rows))
-        work += search_stats.recursions
+            if rows:
+                emit(SolutionBatch(columns, rows))
+            work += search_stats.recursions
+    finally:
+        release_arena(arena)
+        release_searcher(searcher)
     return work
 
 
@@ -131,6 +161,8 @@ def run_sequential_batches(
     limit: Optional[int],
     prepared: Optional[PreparedQuery],
     on_finish: Callable[[int, int, float], None],
+    region_cache=None,
+    region_key=None,
 ) -> Iterator[SolutionBatch]:
     """The single-worker / single-vertex fallback shared by both pools.
 
@@ -143,7 +175,8 @@ def run_sequential_batches(
     matcher = TurboMatcher(graph, config)
     solutions_count = 0
     for batch in matcher.iter_match_batches(
-        query, vertex_predicates=predicates, max_results=limit, prepared=prepared
+        query, vertex_predicates=predicates, max_results=limit, prepared=prepared,
+        region_cache=region_cache, region_key=region_key,
     ):
         solutions_count += batch.rows
         yield batch

@@ -12,22 +12,26 @@ paper's systems are just three factory functions:
   optimizations (the "direct modification" of Section 2.2),
 * :func:`turbo_hom_pp` — e-graph homomorphism with +INT, -NLF, -DEG, +REUSE.
 
-The primitive API is the streaming generator :meth:`TurboMatcher.iter_match`:
-solutions are produced one at a time straight out of the candidate-region
-search, so consumers (engines, the parallel matcher, result limits) never
-force a full result list into memory.  :meth:`match`, :meth:`count` and
-:meth:`match_with_callback` are thin adapters over it, and
-:meth:`iter_match_batches` groups the same stream into columnar
-:class:`~repro.matching.solution_batch.SolutionBatch` objects for the
-batch result pipeline (one flat array per query vertex instead of one list
-per solution).
+The primitive API is :meth:`TurboMatcher.iter_match_batches`: candidate
+regions are explored into a pooled, reusable
+:class:`~repro.matching.region_arena.RegionArena` and enumerated by the
+explicit-stack :class:`~repro.matching.subgraph_search.SubgraphSearcher`,
+which writes matched vertices **directly into the columnar batch being
+built** — no per-solution list, no generator frame per depth.
+:meth:`iter_match` is the row-iterating adapter over that stream, and
+:meth:`match`, :meth:`count`, :meth:`match_with_callback` are thin
+conveniences on top.
 
 Per-query preparation (start-vertex selection, query-tree construction,
 filter-requirement derivation, the shared ``+REUSE`` matching-order slot) is
 factored into :func:`prepare_query` / :class:`PreparedQuery` so the engine's
 plan cache can run it once per *distinct* query and hand the precompiled
 state to every later execution; ``iter_match(..., prepared=...)`` then goes
-straight to candidate-region exploration.
+straight to candidate-region exploration.  On top of that, a caller may pass
+a **region cache** (see :mod:`repro.engine.region_cache`) plus a stable
+``region_key``: explored regions are snapshotted under
+``(region_key, start_data_vertex)`` and repeated executions skip exploration
+entirely (``MatchStatistics.regions_reused`` counts the hits).
 
 The matcher operates on vertex mappings only; edge-label mappings for
 predicate variables (the ``Me`` of Definition 2) are enumerated by the
@@ -51,9 +55,14 @@ from repro.matching.config import MatchConfig
 from repro.matching.filters import VertexRequirements, passes_filters, vertex_requirements
 from repro.matching.matching_order import OrderCache, determine_matching_order
 from repro.matching.query_tree import QueryTree, write_query_tree
+from repro.matching.region_arena import EMPTY_REGION, acquire_arena, release_arena
 from repro.matching.solution_batch import SOLUTION_BATCH_SIZE, SolutionBatch
 from repro.matching.start_vertex import candidate_start_vertices, choose_start
-from repro.matching.subgraph_search import SearchStatistics, subgraph_search_iter
+from repro.matching.subgraph_search import (
+    SearchStatistics,
+    acquire_searcher,
+    release_searcher,
+)
 
 #: A solution maps query vertex index -> data vertex id.
 Solution = List[int]
@@ -129,6 +138,9 @@ class MatchStatistics:
     candidate_regions: int = 0
     region_vertices: int = 0
     solutions: int = 0
+    #: Candidate regions served from a region cache instead of being
+    #: re-explored (the ``+REUSE``-across-queries analogue).
+    regions_reused: int = 0
     search: SearchStatistics = field(default_factory=SearchStatistics)
 
 
@@ -141,33 +153,6 @@ class TurboMatcher:
         self.last_statistics = MatchStatistics()
 
     # -------------------------------------------------------------- main API
-    def iter_match(
-        self,
-        query: QueryGraph,
-        vertex_predicates: Optional[Dict[int, VertexPredicate]] = None,
-        max_results: Optional[int] = None,
-        prepared: Optional[PreparedQuery] = None,
-    ) -> Iterator[Solution]:
-        """Stream all vertex mappings of ``query`` in the data graph.
-
-        Solutions are yielded as they are found; ``max_results`` (or the
-        config's ``max_results``) stops the enumeration after that many
-        solutions.  ``prepared`` supplies precompiled per-query state (from
-        :func:`prepare_query`, typically via a cached query plan) so the
-        start-vertex selection and query-tree construction are skipped.
-        ``self.last_statistics`` reflects the work done so far at any point
-        of the iteration.
-        """
-        limit = max_results if max_results is not None else self.config.max_results
-        if limit is not None and limit <= 0:
-            return
-        produced = 0
-        for mapping in self._iter_solutions(query, vertex_predicates or {}, prepared):
-            produced += 1
-            yield mapping
-            if limit is not None and produced >= limit:
-                return
-
     def iter_match_batches(
         self,
         query: QueryGraph,
@@ -175,27 +160,142 @@ class TurboMatcher:
         max_results: Optional[int] = None,
         prepared: Optional[PreparedQuery] = None,
         batch_size: int = SOLUTION_BATCH_SIZE,
+        region_cache=None,
+        region_key=None,
     ) -> Iterator[SolutionBatch]:
-        """Stream solutions grouped into columnar batches.
+        """Stream solutions as columnar batches straight off the search core.
 
-        Same semantics, limits and statistics as :meth:`iter_match`; the
-        only difference is the shape of the stream — solutions are packed
-        column-major so the engine's batch pipeline (and the shard
-        transports) move flat arrays instead of per-solution lists.
+        The primitive entry point: solutions are packed column-major as the
+        explicit-stack searcher produces them, so the engine's batch
+        pipeline (and the shard transports) move flat arrays that were never
+        row-materialized.  ``max_results`` (or the config's ``max_results``)
+        stops enumeration after exactly that many solutions.  ``prepared``
+        supplies precompiled per-query state (from :func:`prepare_query`,
+        typically via a cached query plan).  ``region_cache``/``region_key``
+        enable cross-query candidate-region reuse: ``region_key`` must
+        uniquely identify (query, config) — the engine passes
+        ``(plan fingerprint, alternative, component)``.
+        ``self.last_statistics`` reflects the work done so far at any point
+        of the iteration.
         """
+        limit = max_results if max_results is not None else self.config.max_results
+        if limit is not None and limit <= 0:
+            return
+        stats = MatchStatistics()
+        self.last_statistics = stats
+        predicates = vertex_predicates or {}
+
+        if query.vertex_count() == 0:
+            stats.solutions += 1
+            yield SolutionBatch((), 1)
+            return
+        if not query.is_connected():
+            raise ValueError(
+                "TurboMatcher requires a connected query graph; split disconnected "
+                "patterns into components (the engine layer does this automatically)"
+            )
+        if prepared is None:
+            prepared = prepare_query(self.graph, query, self.config)
+        if query.vertex_count() == 1 and query.edge_count() == 0:
+            yield from self._iter_single_vertex_batches(
+                predicates, stats, prepared, limit, batch_size
+            )
+            return
+
+        tree = prepared.tree
+        requirements = prepared.requirements
+        root_predicate = predicates.get(prepared.start_vertex)
+        stats.start_vertices = len(prepared.start_candidates)
+        assert tree is not None
+
+        order_cache = prepared.order_cache if self.config.reuse_matching_order else None
+        caching = region_cache is not None and region_key is not None
         width = query.vertex_count()
-        columns = SolutionBatch.collector(width)
-        rows = 0
-        for solution in self.iter_match(query, vertex_predicates, max_results, prepared):
-            for index in range(width):
-                columns[index].append(solution[index])
-            rows += 1
-            if rows >= batch_size:
+        graph = self.graph
+        config = self.config
+
+        arena = acquire_arena()
+        searcher = acquire_searcher()
+        try:
+            columns = SolutionBatch.collector(width)
+            rows = 0
+            produced = 0
+            for start_data_vertex in prepared.start_candidates:
+                if root_predicate is not None and not root_predicate(start_data_vertex):
+                    continue
+                region = None
+                if caching:
+                    cached = region_cache.lookup((region_key, start_data_vertex))
+                    if cached is not None:
+                        stats.regions_reused += 1
+                        region = None if cached is EMPTY_REGION else cached
+                    else:
+                        region = explore_candidate_region(
+                            graph, query, tree, config, start_data_vertex,
+                            predicates, requirements, arena,
+                        )
+                        region_cache.store(
+                            (region_key, start_data_vertex),
+                            EMPTY_REGION if region is None else region.snapshot(),
+                        )
+                    if region is None:
+                        continue
+                else:
+                    region = explore_candidate_region(
+                        graph, query, tree, config, start_data_vertex,
+                        predicates, requirements, arena,
+                    )
+                    if region is None:
+                        continue
+                stats.candidate_regions += 1
+                stats.region_vertices += region.size()
+                order = determine_matching_order(tree, region, order_cache)
+                searcher.reset(graph, query, tree, region, order, config, stats.search)
+                while not searcher.exhausted:
+                    budget = batch_size - rows
+                    if limit is not None:
+                        remaining = limit - produced
+                        if remaining < budget:
+                            budget = remaining
+                    appended = searcher.fill(columns, budget)
+                    rows += appended
+                    produced += appended
+                    stats.solutions += appended
+                    if rows >= batch_size or (limit is not None and produced >= limit):
+                        if rows:
+                            yield SolutionBatch(columns, rows)
+                            columns = SolutionBatch.collector(width)
+                            rows = 0
+                        if limit is not None and produced >= limit:
+                            return
+            if rows:
                 yield SolutionBatch(columns, rows)
-                columns = SolutionBatch.collector(width)
-                rows = 0
-        if rows:
-            yield SolutionBatch(columns, rows)
+        finally:
+            release_arena(arena)
+            release_searcher(searcher)
+
+    def iter_match(
+        self,
+        query: QueryGraph,
+        vertex_predicates: Optional[Dict[int, VertexPredicate]] = None,
+        max_results: Optional[int] = None,
+        prepared: Optional[PreparedQuery] = None,
+        region_cache=None,
+        region_key=None,
+        batch_size: int = SOLUTION_BATCH_SIZE,
+    ) -> Iterator[Solution]:
+        """Stream all vertex mappings one at a time (row adapter).
+
+        Same semantics, limits and statistics as :meth:`iter_match_batches`;
+        each yielded list is a fresh row the consumer may keep.  Solutions
+        surface in ``batch_size`` groups — pass ``batch_size=1`` when the
+        consumer may stop mid-stream and read-ahead work must not happen.
+        """
+        for batch in self.iter_match_batches(
+            query, vertex_predicates, max_results, prepared, batch_size,
+            region_cache=region_cache, region_key=region_key,
+        ):
+            yield from batch.iter_rows()
 
     def match(
         self,
@@ -207,10 +307,10 @@ class TurboMatcher:
         return list(self.iter_match(query, vertex_predicates, max_results))
 
     def count(self, query: QueryGraph, vertex_predicates=None) -> int:
-        """Count solutions without materializing them."""
+        """Count solutions without materializing them (or their rows)."""
         counter = 0
-        for _ in self._iter_solutions(query, vertex_predicates or {}):
-            counter += 1
+        for batch in self.iter_match_batches(query, vertex_predicates):
+            counter += batch.rows
         return counter
 
     def match_with_callback(
@@ -219,83 +319,50 @@ class TurboMatcher:
         on_solution: Callable[[Solution], bool],
         vertex_predicates: Optional[Dict[int, VertexPredicate]] = None,
     ) -> MatchStatistics:
-        """Enumerate solutions through a callback (return False to stop)."""
-        for mapping in self._iter_solutions(query, vertex_predicates or {}):
+        """Enumerate solutions through a callback (return False to stop).
+
+        Solutions surface one at a time (``batch_size=1``), so a False
+        return stops the search exactly there — no batch of read-ahead
+        enumeration behind the caller's back.
+        """
+        for mapping in self.iter_match(query, vertex_predicates, batch_size=1):
             if not on_solution(mapping):
                 break
         return self.last_statistics
 
-    # ----------------------------------------------------------------- core
-    def _iter_solutions(
-        self,
-        query: QueryGraph,
-        predicates: Dict[int, VertexPredicate],
-        prepared: Optional[PreparedQuery] = None,
-    ) -> Iterator[Solution]:
-        """Generator core shared by every public entry point."""
-        stats = MatchStatistics()
-        self.last_statistics = stats
-
-        if query.vertex_count() == 0:
-            stats.solutions += 1
-            yield []
-            return
-        if not query.is_connected():
-            raise ValueError(
-                "TurboMatcher requires a connected query graph; split disconnected "
-                "patterns into components (the engine layer does this automatically)"
-            )
-        if prepared is None:
-            prepared = prepare_query(self.graph, query, self.config)
-        if query.vertex_count() == 1 and query.edge_count() == 0:
-            yield from self._iter_single_vertex(query, predicates, stats, prepared)
-            return
-
-        start_vertex = prepared.start_vertex
-        tree = prepared.tree
-        requirements = prepared.requirements
-        root_predicate = predicates.get(start_vertex)
-        stats.start_vertices = len(prepared.start_candidates)
-        assert tree is not None
-
-        order_cache = prepared.order_cache if self.config.reuse_matching_order else None
-        for start_data_vertex in prepared.start_candidates:
-            if root_predicate is not None and not root_predicate(start_data_vertex):
-                continue
-            region = explore_candidate_region(
-                self.graph, query, tree, self.config, start_data_vertex, predicates,
-                requirements,
-            )
-            if region is None:
-                continue
-            stats.candidate_regions += 1
-            stats.region_vertices += region.size()
-            order = determine_matching_order(tree, region, order_cache)
-            for mapping in subgraph_search_iter(
-                self.graph, query, tree, region, order, self.config, stats.search
-            ):
-                stats.solutions += 1
-                yield mapping
-
     # ---------------------------------------------------------- special case
-    def _iter_single_vertex(
+    def _iter_single_vertex_batches(
         self,
-        query: QueryGraph,
         predicates: Dict[int, VertexPredicate],
         stats: MatchStatistics,
         prepared: PreparedQuery,
-    ) -> Iterator[Solution]:
+        limit: Optional[int],
+        batch_size: int,
+    ) -> Iterator[SolutionBatch]:
         """Algorithm 1, lines 2–4: queries with a single vertex and no edge.
 
         The degree/NLF filters were already applied by :func:`prepare_query`,
         so only the runtime vertex predicates remain.
         """
         predicate = predicates.get(0)
+        columns = SolutionBatch.collector(1)
+        rows = 0
+        produced = 0
         for data_vertex in prepared.start_candidates:
             if predicate is not None and not predicate(data_vertex):
                 continue
+            columns[0].append(data_vertex)
+            rows += 1
+            produced += 1
             stats.solutions += 1
-            yield [data_vertex]
+            if rows >= batch_size:
+                yield SolutionBatch(columns, rows)
+                columns = SolutionBatch.collector(1)
+                rows = 0
+            if limit is not None and produced >= limit:
+                break
+        if rows:
+            yield SolutionBatch(columns, rows)
 
 
 # ---------------------------------------------------------------- factories

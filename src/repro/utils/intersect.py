@@ -131,6 +131,88 @@ def intersect_windows(windows: Sequence[Window]) -> List[int]:
     return result
 
 
+def _out_push(out, length: int, value: int) -> int:
+    """Grow-only append into a reusable output buffer; returns the new length."""
+    if length < len(out):
+        out[length] = value
+    else:
+        out.append(value)
+    return length + 1
+
+
+def _merge_windows_into(a: Window, b: Window, out) -> int:
+    """Linear merge intersection written into a reusable buffer."""
+    base_a, i, len_a = a
+    base_b, j, len_b = b
+    n = 0
+    while i < len_a and j < len_b:
+        x = base_a[i]
+        y = base_b[j]
+        if x == y:
+            n = _out_push(out, n, x)
+            i += 1
+            j += 1
+        elif x < y:
+            i += 1
+        else:
+            j += 1
+    return n
+
+
+def _gallop_windows_into(small: Window, large: Window, out) -> int:
+    """Galloping intersection written into a reusable buffer."""
+    base_s, lo_s, hi_s = small
+    base_l, lo, hi = large
+    n = 0
+    for i in range(lo_s, hi_s):
+        value = base_s[i]
+        j = bisect_left(base_l, value, lo, hi)
+        if j < hi and base_l[j] == value:
+            n = _out_push(out, n, value)
+        lo = j
+    return n
+
+
+def _intersect_two_into(a: Window, b: Window, out) -> int:
+    """Two-window intersection into a reusable buffer (merge vs gallop)."""
+    size_a = a[2] - a[1]
+    size_b = b[2] - b[1]
+    if size_a == 0 or size_b == 0:
+        return 0
+    small, large = (a, b) if size_a <= size_b else (b, a)
+    if (large[2] - large[1]) > 32 * (small[2] - small[1]):
+        return _gallop_windows_into(small, large, out)
+    return _merge_windows_into(small, large, out)
+
+
+def intersect_windows_into(windows: Sequence[Window], out) -> int:
+    """k-way window intersection into a reusable grow-only buffer.
+
+    ``out`` is any mutable integer sequence supporting index assignment and
+    ``append`` (in practice a per-depth ``array('q')`` the enumeration core
+    reuses); only ``out[:returned]`` is meaningful afterwards.  The dominant
+    ``+INT`` shape — one candidate span against one adjacency window — runs
+    allocation-free; three or more windows fall back to the list-building
+    :func:`intersect_windows` and copy once.
+    """
+    count = len(windows)
+    if count == 0:
+        return 0
+    if count == 1:
+        base, lo, hi = windows[0]
+        n = 0
+        for i in range(lo, hi):
+            n = _out_push(out, n, base[i])
+        return n
+    if count == 2:
+        return _intersect_two_into(windows[0], windows[1], out)
+    result = intersect_windows(windows)
+    n = 0
+    for value in result:
+        n = _out_push(out, n, value)
+    return n
+
+
 def intersect_sorted(a: Sequence[int], b: Sequence[int]) -> List[int]:
     """Intersect two sorted lists with a linear merge."""
     return _merge_windows(as_window(a), as_window(b))
