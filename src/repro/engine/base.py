@@ -57,6 +57,17 @@ RESULT_PIPELINE_ENV = "REPRO_RESULT_PIPELINE"
 #: (see :data:`repro.engine.region_cache.DEFAULT_REGION_CACHE_BYTES`).
 REGION_CACHE_BYTES_ENV = "REPRO_REGION_CACHE_BYTES"
 
+#: Environment override for the hybrid hash join's build-side byte budget
+#: of engines constructed without an explicit ``join_memory_bytes``.  ``0``
+#: disables spilling (unbounded in-memory build sides); unset keeps the
+#: default (see
+#: :data:`repro.engine.operators.context.DEFAULT_JOIN_MEMORY_BYTES`).
+JOIN_MEMORY_BYTES_ENV = "REPRO_JOIN_MEMORY_BYTES"
+
+#: Environment override for the hybrid hash join's partition fan-out of
+#: engines constructed without an explicit ``join_partitions``.
+JOIN_PARTITIONS_ENV = "REPRO_JOIN_PARTITIONS"
+
 
 def resolve_execution_mode(mode: Optional[str] = None) -> str:
     """Validate an execution mode, falling back to the environment override.
@@ -110,6 +121,50 @@ def resolve_region_cache_bytes(capacity: Optional[int], default: int) -> int:
             f"region_cache_bytes must be a non-negative integer, got {capacity!r}"
         )
     return capacity
+
+
+def resolve_join_memory_bytes(budget: Optional[int] = None) -> int:
+    """Validate a join-memory byte budget, falling back to the environment.
+
+    An explicit non-None ``budget`` always wins; ``None`` consults
+    ``REPRO_JOIN_MEMORY_BYTES`` and finally the package default.  ``0``
+    disables spilling (unbounded in-memory build sides); negative or
+    malformed values raise at construction, never inside a join.
+    """
+    from repro.engine.operators.context import DEFAULT_JOIN_MEMORY_BYTES
+
+    if budget is None:
+        env = os.environ.get(JOIN_MEMORY_BYTES_ENV, "").strip()
+        if not env:
+            return DEFAULT_JOIN_MEMORY_BYTES
+        try:
+            budget = int(env)
+        except ValueError as error:
+            raise EngineError(f"invalid {JOIN_MEMORY_BYTES_ENV}={env!r}") from error
+    if not isinstance(budget, int) or isinstance(budget, bool) or budget < 0:
+        raise EngineError(
+            f"join_memory_bytes must be a non-negative integer, got {budget!r}"
+        )
+    return budget
+
+
+def resolve_join_partitions(partitions: Optional[int] = None) -> int:
+    """Validate the hybrid hash join's partition fan-out (at least 2)."""
+    from repro.engine.operators.context import DEFAULT_JOIN_PARTITIONS
+
+    if partitions is None:
+        env = os.environ.get(JOIN_PARTITIONS_ENV, "").strip()
+        if not env:
+            return DEFAULT_JOIN_PARTITIONS
+        try:
+            partitions = int(env)
+        except ValueError as error:
+            raise EngineError(f"invalid {JOIN_PARTITIONS_ENV}={env!r}") from error
+    if not isinstance(partitions, int) or isinstance(partitions, bool) or partitions < 2:
+        raise EngineError(
+            f"join_partitions must be an integer >= 2, got {partitions!r}"
+        )
+    return partitions
 
 
 def validate_worker_count(workers: int) -> int:
@@ -171,6 +226,35 @@ class BGPSolver(abc.ABC):
     def supports_filter_pushdown(self) -> bool:
         """True when the solver makes use of ``cheap_filters``."""
         return False
+
+    def supports_plan_shapes(self) -> bool:
+        """True when ``solve``/``solve_batches`` accept a ``plan_shape``.
+
+        A plan shape is an opaque string folded into the solver's plan-cache
+        key (see :func:`repro.engine.plan_cache.bgp_fingerprint`); the
+        evaluator passes the query's aggregate shape so cached plans are
+        only reused by queries with an identical aggregation structure.
+        """
+        return False
+
+    def operator_context(self):
+        """The :class:`~repro.engine.operators.context.OperatorContext`
+        shared by this solver's batch operator kernels.
+
+        The default lazily builds one from the environment knobs; engines
+        that own configuration (``TurboEngine``) override this to return
+        the engine-held context so ``stats()`` and ``close()`` see it.
+        """
+        context = getattr(self, "_operator_context", None)
+        if context is None:
+            from repro.engine.operators.context import OperatorContext
+
+            context = OperatorContext(
+                join_memory_bytes=resolve_join_memory_bytes(None),
+                join_partitions=resolve_join_partitions(None),
+            )
+            self._operator_context = context
+        return context
 
     # ----------------------------------------------------------- batch surface
     def supports_batches(self) -> bool:

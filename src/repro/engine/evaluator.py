@@ -3,16 +3,32 @@
 Every engine (TurboHOM++, RDF-3X-style, TripleBit-style, bitmap) answers a
 basic graph pattern in its own way; everything above the BGP level — FILTER
 semantics, OPTIONAL (left outer join), UNION, joins between group parts,
-projection, DISTINCT, ORDER BY, LIMIT/OFFSET — is identical and lives here.
+GROUP BY / COUNT aggregation, projection, DISTINCT, ORDER BY, LIMIT/OFFSET
+— is identical and lives in the shared algebra.
 
-The algebra is lazy end-to-end: :func:`evaluate_group` composes generator
-operators (hash join, hash left-outer join for OPTIONAL, lazy UNION
-concatenation, filters as stream predicates) over the solver's streaming
-``solve``, so a ``LIMIT k`` query stops pulling — and therefore stops
-*matching* — after ``k`` solutions instead of trimming a materialized list.
-A ``limit_hint`` is additionally threaded into the solver whenever no
-downstream operator can drop rows, letting the matcher terminate candidate
-region exploration early.
+The algebra exists twice, over two row representations with identical
+semantics:
+
+* the **scalar** operators in this module work on one ``Binding`` dict at
+  a time — the compatibility path every solver supports, and the oracle
+  the batch pipeline is compared against;
+* the **batch** operators live in :mod:`repro.engine.operators` as
+  composable kernels over columnar
+  :class:`~repro.sparql.binding_batch.BindingBatch` streams (hybrid hash
+  join with byte-budgeted, spillable build sides; streaming DISTINCT;
+  columnar GROUP BY/COUNT; key-only-decode ORDER BY), composed by
+  :func:`repro.engine.operators.pipeline.evaluate_query_batches`.
+  :func:`evaluate_query` picks the pipeline from
+  ``solver.supports_batches()``.
+
+The scalar algebra is lazy end-to-end: :func:`evaluate_group` composes
+generator operators (hash join, hash left-outer join for OPTIONAL, lazy
+UNION concatenation, filters as stream predicates) over the solver's
+streaming ``solve``, so a ``LIMIT k`` query stops pulling — and therefore
+stops *matching* — after ``k`` solutions instead of trimming a
+materialized list.  A ``limit_hint`` is additionally threaded into the
+solver whenever no downstream operator can drop rows, letting the matcher
+terminate candidate region exploration early.
 
 Join attributes are derived from the query structure (the variables each
 subtree can bind), not by sweeping the binding lists, so the operators never
@@ -23,20 +39,6 @@ offered to the BGP solver for push-down into pattern matching; *expensive*
 filters (multi-variable joins, regular expressions, BOUND) are applied as
 stream predicates after the group's joins.  All filters are re-checked, so
 push-down is purely an optimization and cannot change the semantics.
-
-The algebra exists twice, over two row representations with identical
-semantics:
-
-* the **scalar** operators below work on one ``Binding`` dict at a time —
-  the compatibility path every solver supports;
-* the **batch** operators (second half of this module) work on columnar
-  :class:`~repro.sparql.binding_batch.BindingBatch` streams from solvers
-  that implement ``solve_batches`` — hash join build/probe over raw id
-  columns, streaming DISTINCT on packed row keys, LIMIT/OFFSET by batch
-  slicing — and decode ids to RDF terms only at the
-  :meth:`~repro.sparql.results.ResultSet.from_batches` boundary (late
-  materialization).  :func:`evaluate_query` picks the pipeline from
-  ``solver.supports_batches()``.
 """
 
 from __future__ import annotations
@@ -45,31 +47,43 @@ import itertools
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.engine.base import BGPSolver
+from repro.engine.operators.aggregate import scalar_aggregate
+from repro.engine.operators.pipeline import (
+    _bindable_variables,
+    _bindable_variables_of_triples,
+    evaluate_group_batches,
+    evaluate_query_batches,
+)
 from repro.sparql import expressions as expr
 from repro.sparql.ast import GraphPattern, SelectQuery
-from repro.sparql.binding_batch import (
-    KIND_ID,
-    BatchBuilder,
-    BindingBatch,
-    resolve_kind,
-    slice_batches,
-)
 from repro.sparql.results import Binding, ResultSet
+
+__all__ = ["evaluate_query", "evaluate_group", "evaluate_group_batches"]
 
 
 def evaluate_query(query: SelectQuery, solver: BGPSolver) -> ResultSet:
     """Evaluate a SELECT query with the given BGP solver."""
     if solver.supports_batches():
-        return _evaluate_query_batches(query, solver)
+        return evaluate_query_batches(query, solver)
     projection = [str(v) for v in query.projection()]
+    aggregate = query.is_aggregate()
     limit_hint: Optional[int] = None
-    if query.limit is not None and not query.order_by and not query.distinct:
+    if (
+        query.limit is not None
+        and not query.order_by
+        and not query.distinct
+        and not aggregate
+    ):
         # Row-preserving pipeline above the group: the group needs to produce
-        # at most offset+limit rows.  DISTINCT collapses rows and ORDER BY
-        # needs the full result, so neither admits a hint.
+        # at most offset+limit rows.  DISTINCT collapses rows, ORDER BY and
+        # aggregation need the full result, so none admits a hint.
         limit_hint = query.limit + query.offset
 
     solutions = evaluate_group(query.where, solver, limit_hint)
+    if aggregate:
+        solutions = scalar_aggregate(
+            solutions, [str(v) for v in query.group_by], query.aggregates
+        )
     rows: Iterator[Binding] = (
         {var: binding.get(var) for var in projection} for binding in solutions
     )
@@ -138,32 +152,6 @@ def evaluate_group(
     if limit_hint is not None:
         stream = itertools.islice(stream, limit_hint)
     return stream
-
-
-# ------------------------------------------------------------ join attributes
-def _bindable_variables_of_triples(group: GraphPattern) -> Set[str]:
-    """Variables the group's own triple patterns bind."""
-    result: Set[str] = set()
-    for pattern in group.triples:
-        result.update(str(v) for v in pattern.variables())
-    return result
-
-
-def _bindable_variables(group: GraphPattern) -> Set[str]:
-    """Variables a group's solutions can carry as keys (recursively).
-
-    Unlike :meth:`GraphPattern.variables` this excludes filter-only
-    variables, which never appear in a solution — including them would put
-    permanent ``None`` components into every hash key and degrade the joins
-    to wildcard scans.
-    """
-    result = _bindable_variables_of_triples(group)
-    for union in group.unions:
-        for alternative in union.alternatives:
-            result |= _bindable_variables(alternative)
-    for optional in group.optionals:
-        result |= _bindable_variables(optional)
-    return result
 
 
 # ----------------------------------------------------------------------- joins
@@ -281,373 +269,3 @@ def _distinct_stream(
         if key not in seen:
             seen.add(key)
             yield row
-
-
-# ============================================================ batch pipeline
-# The same algebra over columnar BindingBatch streams.  Two invariants make
-# raw-column comparison sound:
-#
-# * vertex ids decode injectively to terms, so id == id iff term == term;
-# * every stream keeps each variable's column kind consistent batch-to-batch
-#   (solvers normalize per plan; every operator here derives one fixed
-#   output schema per join, so consistency propagates).  Where two *inputs*
-#   disagree (an id-bound variable joined against a term-bound one, possible
-#   across UNION branches), the operator resolves to the term domain and
-#   decodes ids while building keys and output columns.
-def _evaluate_query_batches(query: SelectQuery, solver: BGPSolver) -> ResultSet:
-    """The batch-pipeline twin of :func:`evaluate_query`."""
-    projection = [str(v) for v in query.projection()]
-    limit_hint: Optional[int] = None
-    if query.limit is not None and not query.order_by and not query.distinct:
-        limit_hint = query.limit + query.offset
-
-    batches = evaluate_group_batches(query.where, solver, limit_hint)
-    batches = (batch.project(projection) for batch in batches)
-    if query.distinct:
-        batches = _batch_distinct(batches, projection)
-    if query.order_by:
-        # ORDER BY needs the full result: materialize at the boundary and
-        # reuse the shared (term-domain) sort.
-        result = ResultSet.from_batches(projection, batches)
-        result = result.order_by([(str(v), asc) for v, asc in query.order_by])
-        if query.limit is not None or query.offset:
-            result = result.slice(query.limit, query.offset)
-        return result
-    if query.limit is not None or query.offset:
-        end = None if query.limit is None else query.offset + query.limit
-        batches = slice_batches(batches, query.offset, end)
-    return ResultSet.from_batches(projection, batches)
-
-
-def evaluate_group_batches(
-    group: GraphPattern,
-    solver: BGPSolver,
-    limit_hint: Optional[int] = None,
-) -> Iterator[BindingBatch]:
-    """Stream the solutions of a group graph pattern as columnar batches.
-
-    Mirrors :func:`evaluate_group` operator for operator; ``limit_hint``
-    forwarding follows the same row-preservation rules.
-    """
-    cheap, expensive = expr.split_filters(group.filters)
-
-    # 1. Basic graph pattern (columnar batches straight from the solver).
-    if group.triples:
-        bgp_hint = limit_hint if not (group.filters or group.unions) else None
-        stream: Iterator[BindingBatch] = iter(
-            solver.solve_batches(group.triples, cheap, limit_hint=bgp_hint)
-        )
-    else:
-        stream = iter((BindingBatch.unit(),))
-    bound = _bindable_variables_of_triples(group)
-
-    # 2. UNION blocks join with the rest of the group.
-    for union in group.unions:
-        union_bound: Set[str] = set()
-        for alternative in union.alternatives:
-            union_bound |= _bindable_variables(alternative)
-        union_stream = itertools.chain.from_iterable(
-            evaluate_group_batches(alternative, solver)
-            for alternative in union.alternatives
-        )
-        stream = _batch_hash_join(stream, union_stream, sorted(bound & union_bound))
-        bound |= union_bound
-
-    # 3. OPTIONAL blocks: left outer join in declaration order.
-    for optional in group.optionals:
-        optional_bound = _bindable_variables(optional)
-        stream = _batch_left_outer_join(
-            stream,
-            evaluate_group_batches(optional, solver),
-            sorted(bound & optional_bound),
-            sorted(optional_bound),
-        )
-        bound |= optional_bound
-
-    # 4. FILTER conditions (all of them, cheap ones included for safety).
-    for condition in itertools.chain(cheap, expensive):
-        stream = _batch_filter_stream(stream, condition)
-
-    if limit_hint is not None:
-        stream = slice_batches(stream, 0, limit_hint)
-    return stream
-
-
-# -------------------------------------------------------------- batch joins
-class _BatchIndex:
-    """The materialized build side of a batch hash join.
-
-    Holds the build batches whole (rows are ``(batch, row)`` references, no
-    per-row copies) plus the resolved column kind of every build variable.
-    Keys are built lazily, once the probe side's kinds are known, in the
-    joint key domain (ids stay ids unless either side term-binds the
-    variable).
-    """
-
-    __slots__ = ("batches", "kinds", "decoder", "variables", "rows", "buckets", "key_kinds")
-
-    def __init__(self, batches: Iterable[BindingBatch]):
-        self.batches: List[BindingBatch] = []
-        self.kinds: Dict[str, str] = {}
-        self.decoder = None
-        self.variables: List[str] = []
-        self.rows = 0
-        self.buckets: Optional[Dict[Tuple, List[Tuple[BindingBatch, int]]]] = None
-        self.key_kinds: Optional[Dict[str, str]] = None
-        for batch in batches:
-            if batch.rows == 0:
-                continue
-            self.batches.append(batch)
-            self.rows += batch.rows
-            if self.decoder is None:
-                self.decoder = batch.decoder
-            for var in batch.variables:
-                kind = batch.kinds[var]
-                if var not in self.kinds:
-                    self.kinds[var] = kind
-                    self.variables.append(var)
-                else:
-                    self.kinds[var] = resolve_kind(self.kinds[var], kind)
-
-    def index(
-        self, shared: Sequence[str], probe: BindingBatch
-    ) -> Dict[Tuple, List[Tuple[BindingBatch, int]]]:
-        """Buckets keyed in the joint (probe-aware) key domain.
-
-        Built on the first probe batch and reused afterwards: probe streams
-        are kind-consistent, so the joint domain never changes mid-stream.
-        """
-        key_kinds = {
-            var: resolve_kind(self.kinds.get(var), probe.kind(var)) for var in shared
-        }
-        if self.buckets is not None and key_kinds == self.key_kinds:
-            return self.buckets
-        self.key_kinds = key_kinds
-        buckets: Dict[Tuple, List[Tuple[BindingBatch, int]]] = {}
-        for batch in self.batches:
-            for row in range(batch.rows):
-                key = _row_key(batch, row, shared, key_kinds)
-                buckets.setdefault(key, []).append((batch, row))
-        self.buckets = buckets
-        return buckets
-
-
-def _row_key(batch: BindingBatch, row: int, shared: Sequence[str], key_kinds: Dict[str, str]) -> Tuple:
-    """The packed join/distinct key of one row, in the given key domain."""
-    key = []
-    for var in shared:
-        if key_kinds[var] == KIND_ID:
-            key.append(batch.raw(var, row))
-        else:
-            key.append(batch.term(var, row))
-    return tuple(key)
-
-
-def _join_schema(
-    left: BindingBatch, index: _BatchIndex, extra_variables: Sequence[str] = ()
-) -> Tuple[List[str], Dict[str, str]]:
-    """Output variables + resolved kinds of one join (left ∪ build ∪ extra)."""
-    variables = list(left.variables)
-    kinds = {var: left.kinds[var] for var in left.variables}
-    for var in itertools.chain(index.variables, extra_variables):
-        if var not in kinds:
-            variables.append(var)
-            kinds[var] = index.kinds.get(var, "term")
-        else:
-            kinds[var] = resolve_kind(kinds[var], index.kinds.get(var, kinds[var]))
-    return variables, kinds
-
-
-def _merged_value(
-    var: str,
-    kind: str,
-    left: BindingBatch,
-    left_row: int,
-    right: Optional[BindingBatch],
-    right_row: int,
-):
-    """SPARQL merge of one cell: the left value, right filling nulls."""
-    value = left.raw(var, left_row) if var in left.kinds else None
-    source = left
-    if value is None and right is not None:
-        value = right.raw(var, right_row)
-        source = right
-    if value is None:
-        return None
-    if kind == KIND_ID or source.kinds[var] != KIND_ID:
-        return value
-    return source.term(var, right_row if source is right else left_row)
-
-
-def _pair_compatible(
-    left: BindingBatch,
-    left_row: int,
-    right: BindingBatch,
-    right_row: int,
-    shared: Sequence[str],
-    key_kinds: Dict[str, str],
-) -> bool:
-    """SPARQL compatibility on raw cells (None is a wildcard)."""
-    for var in shared:
-        if key_kinds[var] == KIND_ID:
-            lv = left.raw(var, left_row)
-            rv = right.raw(var, right_row)
-        else:
-            lv = left.term(var, left_row)
-            rv = right.term(var, right_row)
-        if lv is not None and rv is not None and lv != rv:
-            return False
-    return True
-
-
-def _batch_hash_join(
-    left: Iterator[BindingBatch],
-    right: Iterable[BindingBatch],
-    shared: Sequence[str],
-) -> Iterator[BindingBatch]:
-    """Inner hash join over batch streams: build ``right``, probe ``left``.
-
-    The probe is vectorized per batch: one key per left row (raw ids
-    whenever both sides id-bind the variable), bucket lookup via the shared
-    wildcard-aware :func:`_probe`, matched pairs appended column-wise into
-    one output batch per input batch.
-    """
-    index = _BatchIndex(right)
-    if index.rows == 0:
-        return
-    schema: Optional[Tuple[List[str], Dict[str, str]]] = None
-    for batch in left:
-        if batch.rows == 0:
-            continue
-        buckets = index.index(shared, batch)
-        key_kinds = index.key_kinds
-        assert key_kinds is not None
-        if schema is None:
-            schema = _join_schema(batch, index)
-        variables, kinds = schema
-        builder = BatchBuilder(variables, kinds, batch.decoder or index.decoder)
-        for row in range(batch.rows):
-            key = _row_key(batch, row, shared, key_kinds)
-            for candidate_batch, candidate_row in _probe(buckets, key):
-                if _pair_compatible(
-                    batch, row, candidate_batch, candidate_row, shared, key_kinds
-                ):
-                    builder.append(
-                        [
-                            _merged_value(
-                                var, kinds[var], batch, row, candidate_batch, candidate_row
-                            )
-                            for var in variables
-                        ]
-                    )
-        if builder.rows:
-            yield builder.batch()
-
-
-def _batch_left_outer_join(
-    left: Iterator[BindingBatch],
-    right: Iterable[BindingBatch],
-    shared: Sequence[str],
-    right_variables: Sequence[str],
-) -> Iterator[BindingBatch]:
-    """SPARQL OPTIONAL on batch streams: unmatched left rows null-extend."""
-    index = _BatchIndex(right)
-    schema: Optional[Tuple[List[str], Dict[str, str]]] = None
-    for batch in left:
-        if batch.rows == 0:
-            continue
-        if schema is None:
-            schema = _join_schema(batch, index, right_variables)
-        variables, kinds = schema
-        builder = BatchBuilder(variables, kinds, batch.decoder or index.decoder)
-        buckets = index.index(shared, batch) if index.rows else {}
-        key_kinds = index.key_kinds if index.key_kinds is not None else {}
-        for row in range(batch.rows):
-            matched = False
-            if buckets:
-                key = _row_key(batch, row, shared, key_kinds)
-                for candidate_batch, candidate_row in _probe(buckets, key):
-                    if _pair_compatible(
-                        batch, row, candidate_batch, candidate_row, shared, key_kinds
-                    ):
-                        matched = True
-                        builder.append(
-                            [
-                                _merged_value(
-                                    var, kinds[var], batch, row,
-                                    candidate_batch, candidate_row,
-                                )
-                                for var in variables
-                            ]
-                        )
-            if not matched:
-                builder.append(
-                    [
-                        _merged_value(var, kinds[var], batch, row, None, 0)
-                        for var in variables
-                    ]
-                )
-        if builder.rows:
-            yield builder.batch()
-
-
-# ------------------------------------------------------------ batch streams
-def _batch_filter_stream(
-    stream: Iterator[BindingBatch], condition: expr.Expression
-) -> Iterator[BindingBatch]:
-    """Apply one FILTER condition row-wise, keeping survivors columnar.
-
-    Only the condition's own variables are materialized for evaluation —
-    the rest of the batch stays in the id domain.
-    """
-    needed = sorted(set(condition.variables()))
-    for batch in stream:
-        if batch.rows == 0:
-            continue
-        columns = {var: batch.term_column(var) for var in needed}
-        keep = [
-            row
-            for row in range(batch.rows)
-            if expr.evaluate_filter(
-                condition, {var: columns[var][row] for var in needed}
-            )
-        ]
-        if len(keep) == batch.rows:
-            yield batch
-        elif keep:
-            yield batch.take(keep)
-
-
-def _batch_distinct(
-    stream: Iterator[BindingBatch], variables: Sequence[str]
-) -> Iterator[BindingBatch]:
-    """Streaming DISTINCT on packed raw row keys, preserving first-seen order.
-
-    Keys pack raw column values (ids for id columns — injective decode makes
-    that equivalent to term comparison).  When every key column is an id
-    column — the hot case — the keys are built by zipping the flat arrays
-    directly (``NULL_ID`` represents nulls consistently within the id
-    domain), so deduplicating a batch does no per-cell Python calls.
-    """
-    seen: Set[Tuple] = set()
-    for batch in stream:
-        if batch.rows == 0:
-            continue
-        keep: List[int] = []
-        add = seen.add
-        if variables and all(batch.kind(var) == KIND_ID for var in variables):
-            columns = [batch.columns[var] for var in variables]
-            for row, key in enumerate(zip(*columns)):
-                if key not in seen:
-                    add(key)
-                    keep.append(row)
-        else:
-            key_kinds = {var: batch.kind(var) or "term" for var in variables}
-            for row in range(batch.rows):
-                key = _row_key(batch, row, variables, key_kinds)
-                if key not in seen:
-                    add(key)
-                    keep.append(row)
-        if not keep:
-            continue
-        yield batch if len(keep) == batch.rows else batch.take(keep)

@@ -1,0 +1,43 @@
+"""Streaming DISTINCT on packed raw row keys."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Set, Tuple
+
+from repro.engine.operators.join import row_key
+from repro.sparql.binding_batch import KIND_ID, BindingBatch
+
+
+def batch_distinct(
+    stream: Iterator[BindingBatch], variables: Sequence[str]
+) -> Iterator[BindingBatch]:
+    """Streaming DISTINCT on packed raw row keys, preserving first-seen order.
+
+    Keys pack raw column values (ids for id columns — injective decode makes
+    that equivalent to term comparison).  When every key column is an id
+    column — the hot case — the keys are built by zipping the flat arrays
+    directly (``NULL_ID`` represents nulls consistently within the id
+    domain), so deduplicating a batch does no per-cell Python calls.
+    """
+    seen: Set[Tuple] = set()
+    for batch in stream:
+        if batch.rows == 0:
+            continue
+        keep: List[int] = []
+        add = seen.add
+        if variables and all(batch.kind(var) == KIND_ID for var in variables):
+            columns = [batch.columns[var] for var in variables]
+            for row, key in enumerate(zip(*columns)):
+                if key not in seen:
+                    add(key)
+                    keep.append(row)
+        else:
+            key_kinds = {var: batch.kind(var) or "term" for var in variables}
+            for row in range(batch.rows):
+                key = row_key(batch, row, variables, key_kinds)
+                if key not in seen:
+                    add(key)
+                    keep.append(row)
+        if not keep:
+            continue
+        yield batch if len(keep) == batch.rows else batch.take(keep)

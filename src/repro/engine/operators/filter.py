@@ -1,0 +1,34 @@
+"""FILTER as a columnar stream predicate."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.sparql import expressions as expr
+from repro.sparql.binding_batch import BindingBatch
+
+
+def batch_filter(
+    stream: Iterator[BindingBatch], condition: expr.Expression
+) -> Iterator[BindingBatch]:
+    """Apply one FILTER condition row-wise, keeping survivors columnar.
+
+    Only the condition's own variables are materialized for evaluation —
+    the rest of the batch stays in the id domain.
+    """
+    needed = sorted(set(condition.variables()))
+    for batch in stream:
+        if batch.rows == 0:
+            continue
+        columns = {var: batch.term_column(var) for var in needed}
+        keep = [
+            row
+            for row in range(batch.rows)
+            if expr.evaluate_filter(
+                condition, {var: columns[var][row] for var in needed}
+            )
+        ]
+        if len(keep) == batch.rows:
+            yield batch
+        elif keep:
+            yield batch.take(keep)

@@ -1,0 +1,20 @@
+"""LIMIT/OFFSET over batch streams (whole-batch slicing)."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.sparql.binding_batch import BindingBatch, slice_batches
+
+
+def batch_limit_offset(
+    stream: Iterator[BindingBatch], limit: Optional[int], offset: int
+) -> Iterator[BindingBatch]:
+    """Row range ``[offset : offset+limit]`` over a batch stream.
+
+    Delegates to :func:`~repro.sparql.binding_batch.slice_batches`, which
+    abandons the upstream (cancelling matching transitively) once enough
+    rows passed.
+    """
+    end = None if limit is None else offset + limit
+    return slice_batches(stream, offset, end)

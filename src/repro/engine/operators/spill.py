@@ -1,0 +1,91 @@
+"""Spill files: BindingBatch column spans serialized to temp storage.
+
+A spill file is an append-only sequence of pickled **spans**.  Each span is
+one :class:`~repro.sparql.binding_batch.BindingBatch` flattened to
+``(variables, kinds, columns, rows, extra)`` — id columns stay packed
+``array('q')`` payloads, term columns pickle their term lists, and the
+batch's decoder is *not* serialized (ids are graph-local, so the reader
+reattaches the engine's decoder).  ``extra`` carries per-row side data the
+join needs alongside spilled rows (the left-outer "already matched" flags
+of spilled probe rows); ``None`` when unused.
+
+Writers track the byte and row volume they produced so the join can feed
+the ``spilled_bytes`` counter and size-estimate a partition before reading
+it back.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from array import array
+from typing import Iterator, List, Optional, Tuple
+
+from repro.sparql.binding_batch import KIND_ID, BindingBatch, Decoder
+
+#: Flat per-cell byte estimates used for budget accounting: an id cell is
+#: one int64; a term cell is approximated by a small object-header sum.
+ID_CELL_BYTES = 8
+TERM_CELL_BYTES = 64
+
+
+def batch_bytes(batch: BindingBatch) -> int:
+    """The budget-accounting size estimate of one batch."""
+    per_row = 0
+    for var in batch.variables:
+        per_row += ID_CELL_BYTES if batch.kinds[var] == KIND_ID else TERM_CELL_BYTES
+    return per_row * batch.rows
+
+
+class SpillFile:
+    """One append-then-read-back spill file of serialized column spans."""
+
+    __slots__ = ("path", "bytes_written", "rows_written", "spans", "_file")
+
+    def __init__(self, path: str):
+        self.path = path
+        self.bytes_written = 0
+        self.rows_written = 0
+        self.spans = 0
+        self._file = open(path, "wb")
+
+    def write(self, batch: BindingBatch, extra: Optional[List] = None) -> int:
+        """Append one span; returns the serialized byte count."""
+        before = self._file.tell()
+        pickle.dump(
+            (tuple(batch.variables), dict(batch.kinds), dict(batch.columns),
+             batch.rows, extra),
+            self._file,
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        written = self._file.tell() - before
+        self.bytes_written += written
+        self.rows_written += batch.rows
+        self.spans += 1
+        return written
+
+    def seal(self) -> None:
+        """Finish writing (idempotent); the file is now readable."""
+        if self._file is not None and not self._file.closed:
+            self._file.close()
+
+    def read(
+        self, decoder: Optional[Decoder]
+    ) -> Iterator[Tuple[BindingBatch, Optional[List]]]:
+        """Stream the spans back, reattaching ``decoder`` to id columns."""
+        self.seal()
+        with open(self.path, "rb") as handle:
+            while True:
+                try:
+                    variables, kinds, columns, rows, extra = pickle.load(handle)
+                except EOFError:
+                    return
+                yield BindingBatch(variables, columns, kinds, rows, decoder), extra
+
+    def delete(self) -> None:
+        """Remove the file from disk (idempotent)."""
+        self.seal()
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass

@@ -31,19 +31,30 @@ from repro.sparql.ast import TriplePattern
 
 PlanT = TypeVar("PlanT")
 
-#: A fingerprint: (sorted pattern keys, sorted filter keys).
-Fingerprint = Tuple[Tuple[str, ...], Tuple[str, ...]]
+#: A fingerprint: (sorted pattern keys, sorted filter keys[, plan shape]).
+Fingerprint = Tuple[Tuple[str, ...], ...]
 
 
 def bgp_fingerprint(
     patterns: Sequence[TriplePattern],
     filters: Sequence[expr.Expression] = (),
+    shape: Optional[str] = None,
 ) -> Fingerprint:
-    """Canonical cache key for a basic graph pattern plus push-down filters."""
-    return (
+    """Canonical cache key for a basic graph pattern plus push-down filters.
+
+    ``shape`` carries the query's aggregate/grouping shape (see
+    :meth:`repro.sparql.ast.SelectQuery.aggregate_shape`): plans compiled for
+    an aggregate query carry grouping state, so a cached plan may only be
+    reused when the aggregate shape matches exactly.  Plain queries omit the
+    component entirely, keeping their keys identical to pre-aggregation ones.
+    """
+    key = (
         tuple(sorted(pattern.fingerprint() for pattern in patterns)),
         tuple(sorted(condition.fingerprint() for condition in filters)),
     )
+    if shape is not None:
+        return key + ((shape,),)
+    return key
 
 
 class PlanCache(Generic[PlanT]):

@@ -49,11 +49,14 @@ from repro.engine.base import (
     BGPSolver,
     Engine,
     resolve_execution_mode,
+    resolve_join_memory_bytes,
+    resolve_join_partitions,
     resolve_region_cache_bytes,
     resolve_result_pipeline,
     resolve_worker_count,
     validate_worker_count,
 )
+from repro.engine.operators.context import OperatorContext
 from repro.engine.plan import AlternativePlan, ComponentPlan, QueryPlan, TypeVariableBinder, compile_query
 from repro.engine.plan_cache import PlanCache, bgp_fingerprint
 from repro.engine.region_cache import (
@@ -154,6 +157,7 @@ class TurboBGPSolver(BGPSolver):
         result_pipeline: str = "batch",
         counters: Optional[PipelineCounters] = None,
         region_cache: Optional[RegionCache] = None,
+        operator_context: Optional[OperatorContext] = None,
     ):
         self.graph = graph
         self.mapping = mapping
@@ -168,6 +172,10 @@ class TurboBGPSolver(BGPSolver):
         #: coordinates, so it is only consulted for fingerprinted plans.
         self.region_cache = region_cache
         self.counters = counters if counters is not None else PipelineCounters()
+        #: Shared operator-kernel context (join budgets, spill lifecycle,
+        #: operator counters); engine-held when the engine built this
+        #: solver, lazily env-configured otherwise (see the base class).
+        self._operator_context = operator_context
         # The sequential matcher is stateless between calls and shared by
         # every component stream; the parallel pool (persistent worker
         # threads) or shard executor (persistent worker processes) is
@@ -184,12 +192,16 @@ class TurboBGPSolver(BGPSolver):
     def supports_batches(self) -> bool:
         return self.result_pipeline == "batch"
 
+    def supports_plan_shapes(self) -> bool:
+        return True
+
     # ------------------------------------------------------------------ solve
     def solve(
         self,
         patterns: Sequence[TriplePattern],
         cheap_filters: Sequence[expr.Expression] = (),
         limit_hint: Optional[int] = None,
+        plan_shape: Optional[str] = None,
     ) -> Iterator[Binding]:
         """Stream the bindings of a basic graph pattern.
 
@@ -197,8 +209,11 @@ class TurboBGPSolver(BGPSolver):
         it is always enforced at the top of the stream, and — when the plan
         is a single component without expansion decorators — pushed all the
         way into the matcher so candidate regions stop being explored.
+        ``plan_shape`` (the query's aggregate shape) is folded into the
+        plan-cache key so aggregate and plain queries never share a cached
+        plan slot.
         """
-        plan = self.plan(patterns, cheap_filters)
+        plan = self.plan(patterns, cheap_filters, plan_shape)
         deep_limit = limit_hint if plan.supports_direct_limit() else None
         stream = self._execute(plan, deep_limit)
         if limit_hint is not None:
@@ -209,6 +224,7 @@ class TurboBGPSolver(BGPSolver):
         self,
         patterns: Sequence[TriplePattern],
         cheap_filters: Sequence[expr.Expression] = (),
+        plan_shape: Optional[str] = None,
     ) -> QueryPlan:
         """The compiled plan for a BGP, from the cache when possible."""
         if self.plan_cache is None:
@@ -216,9 +232,11 @@ class TurboBGPSolver(BGPSolver):
             if self._executor is not None:
                 # Shard workers address their plan caches by fingerprint, so
                 # plans are fingerprinted even when the engine cache is off.
-                plan.fingerprint = bgp_fingerprint(patterns, cheap_filters)
+                plan.fingerprint = bgp_fingerprint(
+                    patterns, cheap_filters, shape=plan_shape
+                )
             return plan
-        key = bgp_fingerprint(patterns, cheap_filters)
+        key = bgp_fingerprint(patterns, cheap_filters, shape=plan_shape)
         plan = self.plan_cache.get(key)
         if plan is None:
             plan = self._compile(patterns, cheap_filters)
@@ -339,6 +357,7 @@ class TurboBGPSolver(BGPSolver):
         patterns: Sequence[TriplePattern],
         cheap_filters: Sequence[expr.Expression] = (),
         limit_hint: Optional[int] = None,
+        plan_shape: Optional[str] = None,
     ) -> Iterator[BindingBatch]:
         """Stream the bindings of a basic graph pattern as columnar batches.
 
@@ -351,7 +370,7 @@ class TurboBGPSolver(BGPSolver):
         materialize at the :class:`~repro.sparql.results.ResultSet`
         boundary.
         """
-        plan = self.plan(patterns, cheap_filters)
+        plan = self.plan(patterns, cheap_filters, plan_shape)
         deep_limit = limit_hint if plan.supports_direct_limit() else None
         stream = self._execute_batches(plan, deep_limit)
         if limit_hint is not None:
@@ -835,6 +854,8 @@ class TurboEngine(Engine):
         execution_mode: Optional[str] = None,
         result_pipeline: Optional[str] = None,
         region_cache_bytes: Optional[int] = None,
+        join_memory_bytes: Optional[int] = None,
+        join_partitions: Optional[int] = None,
     ):
         super().__init__()
         self.type_aware = type_aware
@@ -881,6 +902,20 @@ class TurboEngine(Engine):
         #: invalidated together with the plan cache (and on load()).
         self.region_cache: Optional[RegionCache] = make_region_cache(
             self.region_cache_bytes
+        )
+        #: Build-side byte budget of one hybrid hash join (``0`` = unbounded,
+        #: no spilling) and its partition fan-out.  ``None`` defers to
+        #: ``REPRO_JOIN_MEMORY_BYTES`` / ``REPRO_JOIN_PARTITIONS`` and then
+        #: the defaults.  Validated here, at construction.
+        self.join_memory_bytes = resolve_join_memory_bytes(join_memory_bytes)
+        self.join_partitions = resolve_join_partitions(join_partitions)
+        #: Engine-held operator context: join budgets, the spill-file
+        #: lifecycle (temp files removed by :meth:`close`, plus a finalizer
+        #: safety net for crashed workers) and the operator counters behind
+        #: ``stats()["operators"]``.
+        self.operator_context = OperatorContext(
+            join_memory_bytes=self.join_memory_bytes,
+            join_partitions=self.join_partitions,
         )
         #: Result-pipeline counters (batches/solutions moved), shared with
         #: the solver and reported by :meth:`stats`.
@@ -932,6 +967,7 @@ class TurboEngine(Engine):
                 result_pipeline=self.result_pipeline,
                 counters=self.pipeline_counters,
                 region_cache=self.region_cache,
+                operator_context=self.operator_context,
             )
         # Keep the memoized solver honest if the engine's caches were
         # swapped or disabled after the first query.
@@ -956,7 +992,11 @@ class TurboEngine(Engine):
         * ``transport`` — in process mode, how results crossed the worker
           boundary: ring batches vs pickled queue fallbacks and the bytes
           moved through shared memory (None in threads mode, where results
-          never leave the address space).
+          never leave the address space),
+        * ``operators`` — batch operator-kernel counters (hybrid-join
+          spill volume, repartition passes, budget fallbacks, groups
+          emitted by aggregation, rows decoded at the ResultSet boundary)
+          plus the configured join budget and fan-out.
         """
         plan_cache: Optional[Dict[str, int]] = None
         if self.plan_cache is not None:
@@ -992,10 +1032,20 @@ class TurboEngine(Engine):
                 "solutions": self.pipeline_counters.solutions,
             },
             "transport": transport,
+            "operators": {
+                "join_memory_bytes": self.join_memory_bytes,
+                "join_partitions": self.join_partitions,
+                **self.operator_context.counters.snapshot(),
+            },
         }
 
     def close(self) -> None:
-        """Shut down the engine-held worker pool / shard executor (if any)."""
+        """Shut down the worker pool / shard executor and spill storage."""
+        # Spill files are query-scoped; any that survive here were leaked
+        # by an interrupted query (or a crashed worker), so sweep the
+        # context's temp directory.  The context stays usable: the next
+        # spill recreates its directory lazily.
+        self.operator_context.cleanup()
         if self._pool is not None:
             self._pool.close()
             self._pool = None
@@ -1020,6 +1070,8 @@ class TurboHomEngine(TurboEngine):
         result_pipeline: Optional[str] = None,
         plan_cache_size: int = 128,
         region_cache_bytes: Optional[int] = None,
+        join_memory_bytes: Optional[int] = None,
+        join_partitions: Optional[int] = None,
     ):
         super().__init__(
             type_aware=False,
@@ -1029,6 +1081,8 @@ class TurboHomEngine(TurboEngine):
             result_pipeline=result_pipeline,
             plan_cache_size=plan_cache_size,
             region_cache_bytes=region_cache_bytes,
+            join_memory_bytes=join_memory_bytes,
+            join_partitions=join_partitions,
         )
 
 
@@ -1045,6 +1099,8 @@ class TurboHomPPEngine(TurboEngine):
         result_pipeline: Optional[str] = None,
         plan_cache_size: int = 128,
         region_cache_bytes: Optional[int] = None,
+        join_memory_bytes: Optional[int] = None,
+        join_partitions: Optional[int] = None,
     ):
         super().__init__(
             type_aware=True,
@@ -1054,4 +1110,6 @@ class TurboHomPPEngine(TurboEngine):
             result_pipeline=result_pipeline,
             plan_cache_size=plan_cache_size,
             region_cache_bytes=region_cache_bytes,
+            join_memory_bytes=join_memory_bytes,
+            join_partitions=join_partitions,
         )

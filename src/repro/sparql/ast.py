@@ -3,7 +3,10 @@
 The AST mirrors the fragment of SPARQL 1.0 the paper's evaluation needs:
 ``SELECT [DISTINCT] ?vars WHERE { BGP, FILTER, OPTIONAL, UNION }`` plus the
 solution modifiers ORDER BY / LIMIT / OFFSET (which the paper strips before
-timing, and which our engines therefore expose but the harness disables).
+timing, and which our engines therefore expose but the harness disables),
+extended with the SPARQL 1.1 aggregation fragment the columnar pipeline
+accelerates: ``COUNT(*)`` / ``COUNT(?v)`` / ``COUNT(DISTINCT ?v)``
+projections (:class:`Aggregate`) and ``GROUP BY``.
 """
 
 from __future__ import annotations
@@ -118,6 +121,29 @@ class UnionPattern:
         return result
 
 
+@dataclass(frozen=True)
+class Aggregate:
+    """One aggregate expression in a SELECT projection.
+
+    The supported fragment is COUNT-shaped: ``COUNT(*)`` (``variable`` is
+    None), ``COUNT(?v)`` (non-null count) and ``COUNT(DISTINCT ?v)``.
+    ``alias`` is the projected result variable — either the ``AS ?name``
+    target or a parser-generated name for bare aggregates.
+    """
+
+    function: str
+    variable: Optional[Variable]
+    distinct: bool
+    alias: Variable
+
+    def shape(self) -> str:
+        """Canonical rendering, used for plan fingerprints and errors."""
+        argument = f"?{self.variable}" if self.variable is not None else "*"
+        if self.distinct:
+            argument = f"DISTINCT {argument}"
+        return f"{self.function.upper()}({argument}) AS ?{self.alias}"
+
+
 @dataclass
 class SelectQuery:
     """A SELECT query."""
@@ -129,18 +155,50 @@ class SelectQuery:
     limit: Optional[int] = None
     offset: int = 0
     prefixes: dict = field(default_factory=dict)
+    #: Aggregate projections, in SELECT order (after the plain variables).
+    aggregates: List[Aggregate] = field(default_factory=list)
+    #: GROUP BY variables, in declaration order.
+    group_by: List[Variable] = field(default_factory=list)
 
     def projection(self) -> List[Variable]:
-        """The projected variables (all WHERE variables for SELECT *)."""
+        """The projected variables (all WHERE variables for SELECT *).
+
+        Aggregate aliases project after the plain variables, in SELECT
+        order.
+        """
         if self.variables is not None:
-            return list(self.variables)
-        return sorted(self.where.variables())
+            names = list(self.variables)
+        elif self.aggregates:
+            names = []
+        else:
+            names = sorted(self.where.variables())
+        names.extend(aggregate.alias for aggregate in self.aggregates)
+        return names
+
+    def is_aggregate(self) -> bool:
+        """True when the query groups or aggregates its solutions."""
+        return bool(self.aggregates or self.group_by)
+
+    def aggregate_shape(self) -> Optional[str]:
+        """Canonical aggregate/grouping shape, or None for plain queries.
+
+        Folded into the plan-cache fingerprint (see
+        :func:`repro.engine.plan_cache.bgp_fingerprint`) so a cached plan is
+        only reused by queries with the identical aggregate shape.
+        """
+        if not self.is_aggregate():
+            return None
+        keys = ",".join(f"?{var}" for var in self.group_by)
+        aggregates = ";".join(aggregate.shape() for aggregate in self.aggregates)
+        return f"group[{keys}]|{aggregates}"
 
     def strip_modifiers(self) -> "SelectQuery":
         """Copy of the query without DISTINCT / ORDER BY / LIMIT / OFFSET.
 
         The paper measures pure pattern-matching time with solution modifiers
         removed (Section 7.1); the benchmark harness uses this helper.
+        Aggregation is part of the query semantics, not a solution modifier,
+        so ``aggregates`` / ``group_by`` survive the strip.
         """
         return SelectQuery(
             variables=self.variables,
@@ -150,4 +208,6 @@ class SelectQuery:
             limit=None,
             offset=0,
             prefixes=dict(self.prefixes),
+            aggregates=list(self.aggregates),
+            group_by=list(self.group_by),
         )

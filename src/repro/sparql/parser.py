@@ -4,11 +4,13 @@ Grammar (informal):
 
     Query      := Prologue SelectQuery
     Prologue   := (PREFIX pname IRI)*
-    SelectQuery:= SELECT [DISTINCT] (Var+ | '*') WHERE? GroupGraph Modifiers
+    SelectQuery:= SELECT [DISTINCT] ((Var | Aggregate)+ | '*') WHERE? GroupGraph Modifiers
+    Aggregate  := COUNT '(' [DISTINCT] ('*' | Var) ')'
+                | '(' COUNT '(' [DISTINCT] ('*' | Var) ')' AS Var ')'
     GroupGraph := '{' (TriplesBlock | Filter | Optional | Group (UNION Group)*)* '}'
     Filter     := FILTER Expression | FILTER '(' Expression ')'
     Optional   := OPTIONAL GroupGraph
-    Modifiers  := (ORDER BY (ASC|DESC)? Var ...)? (LIMIT int)? (OFFSET int)?
+    Modifiers  := (GROUP BY Var+)? (ORDER BY (ASC|DESC)? Var ...)? (LIMIT int)? (OFFSET int)?
 
 Triple blocks support the ``;`` (same subject) and ``,`` (same subject and
 predicate) abbreviations and the ``a`` keyword.
@@ -24,6 +26,7 @@ from repro.rdf.namespaces import RDF, XSD
 from repro.rdf.terms import BlankNode, IRI, Literal, Term
 from repro.sparql import expressions as expr
 from repro.sparql.ast import (
+    Aggregate,
     GraphPattern,
     PatternTerm,
     SelectQuery,
@@ -88,13 +91,14 @@ class _Parser:
         self.expect_keyword("SELECT")
         distinct = self.accept_keyword("DISTINCT")
         self.accept_keyword("REDUCED")
-        variables = self._parse_projection()
+        variables, aggregates = self._parse_projection()
         self.accept_keyword("WHERE")
         where = self._parse_group()
-        order_by, limit, offset = self._parse_modifiers()
+        group_by, order_by, limit, offset = self._parse_modifiers()
         token = self.peek()
         if token.kind != "EOF":
             raise SPARQLSyntaxError(f"unexpected trailing token {token.text!r}", token.position)
+        self._validate_grouping(variables, aggregates, group_by)
         return SelectQuery(
             variables=variables,
             where=where,
@@ -103,19 +107,78 @@ class _Parser:
             limit=limit,
             offset=offset,
             prefixes=dict(self.prefixes),
+            aggregates=aggregates,
+            group_by=group_by,
         )
 
-    def _parse_projection(self) -> Optional[List[Variable]]:
+    def _parse_projection(self) -> Tuple[Optional[List[Variable]], List[Aggregate]]:
         if self.accept_op("*"):
-            return None
+            return None, []
         variables: List[Variable] = []
-        while self.peek().kind == "VAR":
-            variables.append(Variable(self.next().text[1:]))
+        aggregates: List[Aggregate] = []
+        while True:
+            token = self.peek()
+            if token.kind == "VAR":
+                variables.append(Variable(self.next().text[1:]))
+            elif token.kind == "KEYWORD" and token.text == "COUNT":
+                function, variable, agg_distinct = self._parse_count()
+                alias = Variable("count" if not aggregates else f"count{len(aggregates)}")
+                aggregates.append(Aggregate(function, variable, agg_distinct, alias))
+            elif token.kind == "OP" and token.text == "(":
+                self.next()
+                function, variable, agg_distinct = self._parse_count()
+                self.expect_keyword("AS")
+                alias_token = self.next()
+                if alias_token.kind != "VAR":
+                    raise SPARQLSyntaxError("AS expects a variable", alias_token.position)
+                self.expect_op(")")
+                alias = Variable(alias_token.text[1:])
+                aggregates.append(Aggregate(function, variable, agg_distinct, alias))
+            else:
+                break
             self.accept_op(",")
-        if not variables:
+        if not variables and not aggregates:
             token = self.peek()
             raise SPARQLSyntaxError("expected projection variables or '*'", token.position)
-        return variables
+        return variables, aggregates
+
+    def _parse_count(self) -> Tuple[str, Optional[Variable], bool]:
+        self.expect_keyword("COUNT")
+        self.expect_op("(")
+        agg_distinct = self.accept_keyword("DISTINCT")
+        token = self.next()
+        if token.kind == "OP" and token.text == "*":
+            if agg_distinct:
+                raise SPARQLSyntaxError("COUNT(DISTINCT *) is not supported", token.position)
+            variable: Optional[Variable] = None
+        elif token.kind == "VAR":
+            variable = Variable(token.text[1:])
+        else:
+            raise SPARQLSyntaxError(
+                f"COUNT expects '*' or a variable, got {token.text!r}", token.position
+            )
+        self.expect_op(")")
+        return "count", variable, agg_distinct
+
+    def _validate_grouping(
+        self,
+        variables: Optional[List[Variable]],
+        aggregates: List[Aggregate],
+        group_by: List[Variable],
+    ) -> None:
+        if not aggregates and not group_by:
+            return
+        if variables is None:
+            raise SPARQLSyntaxError("SELECT * cannot be combined with GROUP BY or aggregates")
+        grouped = set(group_by)
+        for variable in variables:
+            if variable not in grouped:
+                raise SPARQLSyntaxError(
+                    f"variable ?{variable} is projected but not in GROUP BY"
+                )
+        names = [str(v) for v in variables] + [str(a.alias) for a in aggregates]
+        if len(set(names)) != len(names):
+            raise SPARQLSyntaxError("duplicate variable name in SELECT projection")
 
     # ------------------------------------------------------------------ where
     def _parse_group(self) -> GraphPattern:
@@ -346,10 +409,23 @@ class _Parser:
         return expr.LangMatches(var_token.text[1:], language)
 
     # -------------------------------------------------------------- modifiers
-    def _parse_modifiers(self) -> Tuple[List[Tuple[Variable, bool]], Optional[int], int]:
+    def _parse_modifiers(
+        self,
+    ) -> Tuple[List[Variable], List[Tuple[Variable, bool]], Optional[int], int]:
+        group_by: List[Variable] = []
         order_by: List[Tuple[Variable, bool]] = []
         limit: Optional[int] = None
         offset = 0
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            while self.peek().kind == "VAR":
+                group_by.append(Variable(self.next().text[1:]))
+            if not group_by:
+                token = self.peek()
+                raise SPARQLSyntaxError("GROUP BY expects variables", token.position)
+        if self.accept_keyword("HAVING"):
+            token = self.peek()
+            raise SPARQLSyntaxError("HAVING is not supported", token.position)
         if self.accept_keyword("ORDER"):
             self.expect_keyword("BY")
             while True:
@@ -385,7 +461,7 @@ class _Parser:
             if offset_token.kind != "NUMBER":
                 raise SPARQLSyntaxError("OFFSET expects an integer", offset_token.position)
             offset = int(offset_token.text)
-        return order_by, limit, offset
+        return group_by, order_by, limit, offset
 
 
 def _number_literal(text: str) -> Literal:

@@ -15,6 +15,7 @@ binding dicts.  Nothing above a ``ResultSet`` ever sees an id.
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.rdf.terms import Term
@@ -101,13 +102,18 @@ class ResultSet:
         return ResultSet(self.variables, self.rows[offset:end])
 
     # ------------------------------------------------------------- comparison
-    def as_multiset(self) -> Dict[Tuple, int]:
-        """Multiset of solution tuples, for order-insensitive comparison."""
-        counts: Dict[Tuple, int] = {}
-        for row in self.rows:
-            key = tuple(row.get(var) for var in self.variables)
-            counts[key] = counts.get(key, 0) + 1
-        return counts
+    def as_multiset(self, order: Optional[Sequence[str]] = None) -> Counter:
+        """Multiset of solution tuples, for order-insensitive comparison.
+
+        ``order`` fixes the tuple column order (defaults to this result's
+        projected variables), so two result sets with the same variables in
+        different order compare under one ordering.
+        """
+        if order is None:
+            order = self.variables
+        return Counter(
+            tuple(row.get(var) for var in order) for row in self.rows
+        )
 
     def same_solutions(self, other: "ResultSet") -> bool:
         """True when both result sets contain the same solutions (as bags).
@@ -117,15 +123,30 @@ class ResultSet:
         if set(self.variables) != set(other.variables):
             return False
         order = list(self.variables)
-        mine = {}
-        theirs = {}
+        return self.as_multiset(order) == other.as_multiset(order)
+
+    def grouped_counts(
+        self, group_vars: Sequence[str], count_vars: Sequence[str]
+    ) -> Dict[Tuple, Tuple[int, ...]]:
+        """Group-key → integer count values, for aggregate-result comparison.
+
+        An aggregate query emits one row per group; this flattens such a
+        result into a comparable dict keyed on the ``group_vars`` tuple,
+        with each ``count_vars`` column parsed back to ``int`` (count
+        literals are ``xsd:integer``, so the lexical form is the value —
+        this deliberately ignores datatype spelling differences between
+        pipelines).
+        """
+        grouped: Dict[Tuple, Tuple[int, ...]] = {}
         for row in self.rows:
-            key = tuple(row.get(var) for var in order)
-            mine[key] = mine.get(key, 0) + 1
-        for row in other.rows:
-            key = tuple(row.get(var) for var in order)
-            theirs[key] = theirs.get(key, 0) + 1
-        return mine == theirs
+            key = tuple(row.get(var) for var in group_vars)
+            if key in grouped:
+                raise ValueError(f"duplicate group key {key!r}")
+            grouped[key] = tuple(
+                int(str(getattr(row.get(var), "lexical", row.get(var))))
+                for var in count_vars
+            )
+        return grouped
 
     def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
         return f"ResultSet(vars={self.variables}, rows={len(self.rows)})"

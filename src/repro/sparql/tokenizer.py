@@ -26,6 +26,7 @@ _KEYWORDS = {
     "PREFIX", "BASE", "ORDER", "BY", "ASC", "DESC", "LIMIT", "OFFSET",
     "REGEX", "BOUND", "LANG", "LANGMATCHES", "STR", "DATATYPE", "ASK",
     "CONSTRUCT", "DESCRIBE", "FROM", "NAMED", "GRAPH", "AS",
+    "COUNT", "GROUP", "HAVING",
 }
 
 _TOKEN_RE = re.compile(
