@@ -68,6 +68,13 @@ JOIN_MEMORY_BYTES_ENV = "REPRO_JOIN_MEMORY_BYTES"
 #: engines constructed without an explicit ``join_partitions``.
 JOIN_PARTITIONS_ENV = "REPRO_JOIN_PARTITIONS"
 
+#: Environment override for the per-predicate reachability-index byte budget
+#: of engines constructed without an explicit ``path_index_bytes``.  ``0``
+#: disables path indexing entirely (every transitive probe takes the BFS
+#: fallback kernels); unset keeps the default budget (see
+#: :data:`repro.graph.reachability.DEFAULT_PATH_INDEX_BYTES`).
+PATH_INDEX_BYTES_ENV = "REPRO_PATH_INDEX_BYTES"
+
 
 def resolve_execution_mode(mode: Optional[str] = None) -> str:
     """Validate an execution mode, falling back to the environment override.
@@ -167,6 +174,32 @@ def resolve_join_partitions(partitions: Optional[int] = None) -> int:
     return partitions
 
 
+def resolve_path_index_bytes(budget: Optional[int] = None) -> int:
+    """Validate a path-index byte budget, falling back to the environment.
+
+    An explicit non-None ``budget`` always wins; ``None`` consults
+    ``REPRO_PATH_INDEX_BYTES`` and finally the package default.  ``0``
+    disables path indexing (transitive steps fall back to the BFS
+    kernels); negative or malformed values raise at construction, never
+    inside a query.
+    """
+    from repro.graph.reachability import DEFAULT_PATH_INDEX_BYTES
+
+    if budget is None:
+        env = os.environ.get(PATH_INDEX_BYTES_ENV, "").strip()
+        if not env:
+            return DEFAULT_PATH_INDEX_BYTES
+        try:
+            budget = int(env)
+        except ValueError as error:
+            raise EngineError(f"invalid {PATH_INDEX_BYTES_ENV}={env!r}") from error
+    if not isinstance(budget, int) or isinstance(budget, bool) or budget < 0:
+        raise EngineError(
+            f"path_index_bytes must be a non-negative integer, got {budget!r}"
+        )
+    return budget
+
+
 def validate_worker_count(workers: int) -> int:
     """Reject non-positive / non-integral worker counts with a clear error."""
     if not isinstance(workers, int) or isinstance(workers, bool) or workers < 1:
@@ -237,6 +270,17 @@ class BGPSolver(abc.ABC):
         """
         return False
 
+    def path_resolver(self):
+        """The solver's :class:`~repro.engine.operators.path.PathResolver`.
+
+        ``None`` (the default) means the solver cannot evaluate
+        :class:`~repro.sparql.ast.PathPattern` leaves; the evaluator raises
+        a clear :class:`~repro.exceptions.EngineError` when a query's paths
+        reach such a solver (engine front-ends gate earlier via
+        :attr:`Engine.supports_paths`).
+        """
+        return None
+
     def operator_context(self):
         """The :class:`~repro.engine.operators.context.OperatorContext`
         shared by this solver's batch operator kernels.
@@ -280,6 +324,11 @@ class Engine(abc.ABC):
     #: Whether the engine supports OPTIONAL (the open-source baselines do not,
     #: mirroring the paper's Table 6 footnote).
     supports_optional: bool = True
+    #: Whether the engine supports SPARQL 1.1 property paths whose
+    #: transitive steps need a reachability index (``p+`` / ``p*`` / ``p?``).
+    #: Non-transitive path shapes rewrite into plain BGP/UNION algebra at
+    #: parse time and work everywhere.
+    supports_paths: bool = False
 
     def __init__(self) -> None:
         self._store: Optional[TripleStore] = None
@@ -308,6 +357,10 @@ class Engine(abc.ABC):
         parsed = parse_sparql(query) if isinstance(query, str) else query
         if not self.supports_optional and _uses_optional(parsed):
             raise EngineError(f"{self.name} does not support OPTIONAL")
+        if not self.supports_paths and _uses_paths(parsed):
+            raise EngineError(
+                f"{self.name} does not support transitive property paths"
+            )
         return evaluate_query(parsed, self.bgp_solver())
 
     def count(self, query: Union[str, SelectQuery]) -> int:
@@ -323,6 +376,20 @@ def _uses_optional(query: SelectQuery) -> bool:
 
     def walk(group) -> bool:
         if group.optionals:
+            return True
+        for union in group.unions:
+            if any(walk(alt) for alt in union.alternatives):
+                return True
+        return any(walk(opt) for opt in group.optionals)
+
+    return walk(query.where)
+
+
+def _uses_paths(query: SelectQuery) -> bool:
+    """True when the query contains a transitive path pattern anywhere."""
+
+    def walk(group) -> bool:
+        if group.paths:
             return True
         for union in group.unions:
             if any(walk(alt) for alt in union.alternatives):

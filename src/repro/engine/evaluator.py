@@ -48,6 +48,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tupl
 
 from repro.engine.base import BGPSolver
 from repro.engine.operators.aggregate import scalar_aggregate
+from repro.engine.operators.path import require_path_resolver, scalar_path_apply
 from repro.engine.operators.pipeline import (
     _bindable_variables,
     _bindable_variables_of_triples,
@@ -65,6 +66,9 @@ def evaluate_query(query: SelectQuery, solver: BGPSolver) -> ResultSet:
     """Evaluate a SELECT query with the given BGP solver."""
     if solver.supports_batches():
         return evaluate_query_batches(query, solver)
+    from repro.engine.plan import compose_plan_shape
+
+    plan_shape = compose_plan_shape(query.aggregate_shape(), query.where.paths)
     projection = [str(v) for v in query.projection()]
     aggregate = query.is_aggregate()
     limit_hint: Optional[int] = None
@@ -79,7 +83,7 @@ def evaluate_query(query: SelectQuery, solver: BGPSolver) -> ResultSet:
         # aggregation need the full result, so none admits a hint.
         limit_hint = query.limit + query.offset
 
-    solutions = evaluate_group(query.where, solver, limit_hint)
+    solutions = evaluate_group(query.where, solver, limit_hint, plan_shape)
     if aggregate:
         solutions = scalar_aggregate(
             solutions, [str(v) for v in query.group_by], query.aggregates
@@ -105,22 +109,45 @@ def evaluate_group(
     group: GraphPattern,
     solver: BGPSolver,
     limit_hint: Optional[int] = None,
+    plan_shape: Optional[str] = None,
 ) -> Iterator[Binding]:
     """Stream the solutions of a group graph pattern.
 
     ``limit_hint`` bounds how many solutions the caller will consume; it is
     forwarded to the BGP solver only when the group has no filters and no
     UNION blocks (OPTIONAL never drops left rows, so it is hint-safe).
+    ``plan_shape`` (the query's aggregate/path shape) is forwarded to
+    shape-aware solvers so their plan-cache keys match the batch pipeline's.
     """
     cheap, expensive = expr.split_filters(group.filters)
 
     # 1. Basic graph pattern (streamed straight from the solver).
     if group.triples:
-        bgp_hint = limit_hint if not (group.filters or group.unions) else None
-        stream = iter(solver.solve(group.triples, cheap, limit_hint=bgp_hint))
+        bgp_hint = (
+            limit_hint
+            if not (group.filters or group.unions or group.paths)
+            else None
+        )
+        if plan_shape is not None and solver.supports_plan_shapes():
+            stream = iter(
+                solver.solve(
+                    group.triples, cheap, limit_hint=bgp_hint, plan_shape=plan_shape
+                )
+            )
+        else:
+            stream = iter(solver.solve(group.triples, cheap, limit_hint=bgp_hint))
     else:
         stream = iter(({},))
     bound = _bindable_variables_of_triples(group)
+
+    # 1b. Property-path steps join the stream like extra patterns (each row
+    #     constrains the endpoints; closure probes hit the path indexes).
+    if group.paths:
+        resolver = require_path_resolver(solver)
+        counters = solver.operator_context().counters
+        for path in group.paths:
+            stream = scalar_path_apply(stream, path, resolver, counters)
+            bound.update(str(v) for v in path.variables())
 
     # 2. UNION blocks join with the rest of the group (alternatives stream
     #    lazily, one after the other).
@@ -129,7 +156,8 @@ def evaluate_group(
         for alternative in union.alternatives:
             union_bound |= _bindable_variables(alternative)
         union_stream = itertools.chain.from_iterable(
-            evaluate_group(alternative, solver) for alternative in union.alternatives
+            evaluate_group(alternative, solver, None, plan_shape)
+            for alternative in union.alternatives
         )
         stream = _hash_join(stream, union_stream, sorted(bound & union_bound))
         bound |= union_bound
@@ -139,7 +167,7 @@ def evaluate_group(
         optional_bound = _bindable_variables(optional)
         stream = _hash_left_outer_join(
             stream,
-            evaluate_group(optional, solver),
+            evaluate_group(optional, solver, None, plan_shape),
             sorted(bound & optional_bound),
             sorted(optional_bound),
         )

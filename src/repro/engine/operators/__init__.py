@@ -16,6 +16,9 @@ relational kernel, each consuming and producing
 * :mod:`~repro.engine.operators.aggregate` — GROUP BY / COUNT kernels
   grouping on raw id columns (plus the scalar twin used by the
   oracle-comparable pipeline);
+* :mod:`~repro.engine.operators.path` — SPARQL 1.1 property-path steps
+  (``p+`` / ``p*`` / ``p?``) joined into the stream via per-predicate
+  reachability indexes (plus the scalar twin / parity oracle);
 * :mod:`~repro.engine.operators.limit` — LIMIT/OFFSET by batch slicing;
 * :mod:`~repro.engine.operators.pipeline` — the batch query pipeline that
   composes the kernels for a parsed query;
@@ -38,6 +41,11 @@ from repro.engine.operators.distinct import batch_distinct
 from repro.engine.operators.filter import batch_filter
 from repro.engine.operators.join import batch_hash_join, batch_left_outer_join
 from repro.engine.operators.limit import batch_limit_offset
+from repro.engine.operators.path import (
+    PathResolver,
+    batch_path_apply,
+    scalar_path_apply,
+)
 from repro.engine.operators.pipeline import (
     evaluate_group_batches,
     evaluate_query_batches,
@@ -49,6 +57,7 @@ __all__ = [
     "DEFAULT_JOIN_PARTITIONS",
     "OperatorContext",
     "OperatorCounters",
+    "PathResolver",
     "batch_aggregate",
     "batch_distinct",
     "batch_filter",
@@ -56,7 +65,9 @@ __all__ = [
     "batch_left_outer_join",
     "batch_limit_offset",
     "batch_order_by",
+    "batch_path_apply",
     "evaluate_group_batches",
     "evaluate_query_batches",
     "scalar_aggregate",
+    "scalar_path_apply",
 ]

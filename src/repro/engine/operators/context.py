@@ -50,6 +50,9 @@ class OperatorCounters:
     groups_emitted: int = 0
     #: Rows that crossed the ResultSet decode boundary.
     rows_decoded: int = 0
+    #: Rows emitted by the property-path operator (both pipelines meter
+    #: their shared pair kernel through the batch context).
+    path_rows_emitted: int = 0
 
     def snapshot(self) -> Dict[str, int]:
         """A plain-dict copy (the ``stats()["operators"]`` payload)."""

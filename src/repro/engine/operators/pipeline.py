@@ -28,6 +28,7 @@ from repro.engine.operators.distinct import batch_distinct
 from repro.engine.operators.filter import batch_filter
 from repro.engine.operators.join import batch_hash_join, batch_left_outer_join
 from repro.engine.operators.limit import batch_limit_offset
+from repro.engine.operators.path import batch_path_apply, require_path_resolver
 from repro.engine.operators.sort import batch_order_by
 from repro.sparql import expressions as expr
 from repro.sparql.ast import GraphPattern, SelectQuery
@@ -62,7 +63,9 @@ def evaluate_query_batches(query: SelectQuery, solver: BGPSolver) -> ResultSet:
         # ORDER BY and aggregation need the full result, so none admits a
         # hint.
         limit_hint = query.limit + query.offset
-    plan_shape = query.aggregate_shape()
+    from repro.engine.plan import compose_plan_shape
+
+    plan_shape = compose_plan_shape(query.aggregate_shape(), query.where.paths)
 
     batches = evaluate_group_batches(
         query.where, solver, limit_hint, context, plan_shape
@@ -106,7 +109,11 @@ def evaluate_group_batches(
 
     # 1. Basic graph pattern (columnar batches straight from the solver).
     if group.triples:
-        bgp_hint = limit_hint if not (group.filters or group.unions) else None
+        bgp_hint = (
+            limit_hint
+            if not (group.filters or group.unions or group.paths)
+            else None
+        )
         if plan_shape is not None and solver.supports_plan_shapes():
             stream: Iterator[BindingBatch] = iter(
                 solver.solve_batches(
@@ -120,6 +127,14 @@ def evaluate_group_batches(
     else:
         stream = iter((BindingBatch.unit(),))
     bound = _bindable_variables_of_triples(group)
+
+    # 1b. Property-path steps join the stream like extra patterns (each row
+    #     constrains the endpoints; closure probes hit the path indexes).
+    if group.paths:
+        resolver = require_path_resolver(solver)
+        for path in group.paths:
+            stream = batch_path_apply(stream, path, resolver, context)
+            bound.update(str(v) for v in path.variables())
 
     # 2. UNION blocks join with the rest of the group.
     for union in group.unions:
@@ -177,6 +192,8 @@ def _bindable_variables(group: GraphPattern) -> Set[str]:
     to wildcard scans.
     """
     result = _bindable_variables_of_triples(group)
+    for path in group.paths:
+        result.update(str(v) for v in path.variables())
     for union in group.unions:
         for alternative in union.alternatives:
             result |= _bindable_variables(alternative)

@@ -43,7 +43,7 @@ from repro.matching.turbo import PreparedQuery, prepare_query
 from repro.rdf.namespaces import RDF
 from repro.rdf.terms import Term
 from repro.sparql import expressions as expr
-from repro.sparql.ast import TriplePattern, Variable
+from repro.sparql.ast import PathPattern, TriplePattern, Variable
 
 
 @dataclass
@@ -130,6 +130,23 @@ class QueryPlan:
         if len(alternative.components) != 1:
             return False
         return not alternative.components[0].predicate_variable_edges
+
+
+def compose_plan_shape(
+    shape: Optional[str], paths: Sequence[PathPattern]
+) -> Optional[str]:
+    """Fold a group's path patterns into its plan-shape fingerprint part.
+
+    The shape string joins the aggregate shape in the plan-cache key (see
+    :func:`repro.engine.plan_cache.bgp_fingerprint`), so a BGP evaluated
+    under different surrounding path patterns never shares a cached plan
+    slot with its path-free twin.  Path order is canonicalized by sorting;
+    groups without paths keep their shape (and their cache keys) unchanged.
+    """
+    if not paths:
+        return shape
+    part = "paths[" + ";".join(sorted(p.fingerprint() for p in paths)) + "]"
+    return part if shape is None else f"{shape}|{part}"
 
 
 def compile_query(

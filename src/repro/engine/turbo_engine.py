@@ -51,12 +51,14 @@ from repro.engine.base import (
     resolve_execution_mode,
     resolve_join_memory_bytes,
     resolve_join_partitions,
+    resolve_path_index_bytes,
     resolve_region_cache_bytes,
     resolve_result_pipeline,
     resolve_worker_count,
     validate_worker_count,
 )
 from repro.engine.operators.context import OperatorContext
+from repro.engine.operators.path import PathResolver
 from repro.engine.plan import AlternativePlan, ComponentPlan, QueryPlan, TypeVariableBinder, compile_query
 from repro.engine.plan_cache import PlanCache, bgp_fingerprint
 from repro.engine.region_cache import (
@@ -66,6 +68,7 @@ from repro.engine.region_cache import (
 )
 from repro.engine.shard_executor import ShardExecutor
 from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.reachability import PathIndexCounters, PathIndexManager
 from repro.graph.transform import (
     GraphMapping,
     direct_transform,
@@ -158,6 +161,7 @@ class TurboBGPSolver(BGPSolver):
         counters: Optional[PipelineCounters] = None,
         region_cache: Optional[RegionCache] = None,
         operator_context: Optional[OperatorContext] = None,
+        path_manager: Optional[PathIndexManager] = None,
     ):
         self.graph = graph
         self.mapping = mapping
@@ -176,6 +180,11 @@ class TurboBGPSolver(BGPSolver):
         #: operator counters); engine-held when the engine built this
         #: solver, lazily env-configured otherwise (see the base class).
         self._operator_context = operator_context
+        #: Per-predicate reachability-index manager backing transitive
+        #: property paths (engine-held; None means this solver cannot
+        #: evaluate PathPattern leaves).
+        self.path_manager = path_manager
+        self._path_resolver: Optional[PathResolver] = None
         # The sequential matcher is stateless between calls and shared by
         # every component stream; the parallel pool (persistent worker
         # threads) or shard executor (persistent worker processes) is
@@ -194,6 +203,19 @@ class TurboBGPSolver(BGPSolver):
 
     def supports_plan_shapes(self) -> bool:
         return True
+
+    def path_resolver(self) -> Optional[PathResolver]:
+        """Resolver for property-path evaluation (None without a manager)."""
+        if self.path_manager is None:
+            return None
+        if (
+            self._path_resolver is None
+            or self._path_resolver.manager is not self.path_manager
+        ):
+            self._path_resolver = PathResolver(
+                self.graph, self.mapping, self.path_manager
+            )
+        return self._path_resolver
 
     # ------------------------------------------------------------------ solve
     def solve(
@@ -844,6 +866,7 @@ class TurboEngine(Engine):
 
     name = "TurboEngine"
     supports_optional = True
+    supports_paths = True
 
     def __init__(
         self,
@@ -856,6 +879,7 @@ class TurboEngine(Engine):
         region_cache_bytes: Optional[int] = None,
         join_memory_bytes: Optional[int] = None,
         join_partitions: Optional[int] = None,
+        path_index_bytes: Optional[int] = None,
     ):
         super().__init__()
         self.type_aware = type_aware
@@ -909,6 +933,11 @@ class TurboEngine(Engine):
         #: the defaults.  Validated here, at construction.
         self.join_memory_bytes = resolve_join_memory_bytes(join_memory_bytes)
         self.join_partitions = resolve_join_partitions(join_partitions)
+        #: Byte budget of the per-predicate reachability-index LRU backing
+        #: transitive property paths (``0`` = no indexes, BFS fallback on
+        #: every probe).  ``None`` defers to ``REPRO_PATH_INDEX_BYTES`` and
+        #: then the default.  Validated here, at construction.
+        self.path_index_bytes = resolve_path_index_bytes(path_index_bytes)
         #: Engine-held operator context: join budgets, the spill-file
         #: lifecycle (temp files removed by :meth:`close`, plus a finalizer
         #: safety net for crashed workers) and the operator counters behind
@@ -923,6 +952,7 @@ class TurboEngine(Engine):
         self._solver: Optional[TurboBGPSolver] = None
         self._pool: Optional[ParallelMatcher] = None
         self._executor: Optional[ShardExecutor] = None
+        self._path_manager: Optional[PathIndexManager] = None
 
     def load(self, store: TripleStore) -> None:
         """Transform the store into the engine's labeled graph."""
@@ -955,6 +985,15 @@ class TurboEngine(Engine):
                     self._pool = ParallelMatcher(
                         self.graph, self.config, workers=self.workers
                     )
+            if self._path_manager is None:
+                # Reachability indexes build lazily per predicate inside the
+                # manager; in process mode every index is additionally
+                # exported as a shared-memory manifest workers can attach.
+                self._path_manager = PathIndexManager(
+                    self.graph,
+                    self.path_index_bytes,
+                    shared=(self.execution_mode == "processes"),
+                )
             self._solver = TurboBGPSolver(
                 self.graph,
                 self.mapping,
@@ -968,12 +1007,14 @@ class TurboEngine(Engine):
                 counters=self.pipeline_counters,
                 region_cache=self.region_cache,
                 operator_context=self.operator_context,
+                path_manager=self._path_manager,
             )
         # Keep the memoized solver honest if the engine's caches were
         # swapped or disabled after the first query.
         self._solver.plan_cache = self.plan_cache
         self._solver.result_pipeline = self.result_pipeline
         self._solver.region_cache = self.region_cache
+        self._solver.path_manager = self._path_manager
         return self._solver
 
     def stats(self) -> Dict[str, object]:
@@ -995,8 +1036,15 @@ class TurboEngine(Engine):
           never leave the address space),
         * ``operators`` — batch operator-kernel counters (hybrid-join
           spill volume, repartition passes, budget fallbacks, groups
-          emitted by aggregation, rows decoded at the ResultSet boundary)
-          plus the configured join budget and fan-out.
+          emitted by aggregation, rows decoded at the ResultSet boundary,
+          property-path rows emitted) plus the configured join budget and
+          fan-out,
+        * ``path_index`` — the per-predicate reachability-index LRU behind
+          transitive property paths: the configured byte budget, resident
+          entries/bytes, build / hit / miss / eviction counts, oversized
+          predicates pinned to BFS, BFS fallback probes, and the probe-level
+          split between closure postings, O(1) interval rejects and pruned
+          DFS walks.
         """
         plan_cache: Optional[Dict[str, int]] = None
         if self.plan_cache is not None:
@@ -1021,6 +1069,16 @@ class TurboEngine(Engine):
             region_cache = self._executor.pool.region_cache_counters()
         elif self.region_cache is not None:
             region_cache = self.region_cache.counters()
+        if self._path_manager is not None:
+            path_index = self._path_manager.stats()
+        else:
+            path_index = {
+                "budget_bytes": self.path_index_bytes,
+                "entries": 0,
+                "bytes": 0,
+                "shared": self.execution_mode == "processes",
+                **PathIndexCounters().snapshot(),
+            }
         return {
             "execution_mode": self.execution_mode,
             "workers": self.workers,
@@ -1037,6 +1095,7 @@ class TurboEngine(Engine):
                 "join_partitions": self.join_partitions,
                 **self.operator_context.counters.snapshot(),
             },
+            "path_index": path_index,
         }
 
     def close(self) -> None:
@@ -1052,6 +1111,11 @@ class TurboEngine(Engine):
         if self._executor is not None:
             self._executor.close()
             self._executor = None
+        # Reachability indexes are graph-scoped: drop them (unlinking any
+        # shared-memory exports) so a reload never serves stale closures.
+        if self._path_manager is not None:
+            self._path_manager.close()
+            self._path_manager = None
         # Drop the memoized solver too: it holds the closed pool/executor,
         # and a later query must build (and the next close() must find) a
         # fresh engine-tracked one instead of resurrecting the old.
@@ -1072,6 +1136,7 @@ class TurboHomEngine(TurboEngine):
         region_cache_bytes: Optional[int] = None,
         join_memory_bytes: Optional[int] = None,
         join_partitions: Optional[int] = None,
+        path_index_bytes: Optional[int] = None,
     ):
         super().__init__(
             type_aware=False,
@@ -1083,6 +1148,7 @@ class TurboHomEngine(TurboEngine):
             region_cache_bytes=region_cache_bytes,
             join_memory_bytes=join_memory_bytes,
             join_partitions=join_partitions,
+            path_index_bytes=path_index_bytes,
         )
 
 
@@ -1101,6 +1167,7 @@ class TurboHomPPEngine(TurboEngine):
         region_cache_bytes: Optional[int] = None,
         join_memory_bytes: Optional[int] = None,
         join_partitions: Optional[int] = None,
+        path_index_bytes: Optional[int] = None,
     ):
         super().__init__(
             type_aware=True,
@@ -1112,4 +1179,5 @@ class TurboHomPPEngine(TurboEngine):
             region_cache_bytes=region_cache_bytes,
             join_memory_bytes=join_memory_bytes,
             join_partitions=join_partitions,
+            path_index_bytes=path_index_bytes,
         )

@@ -1,7 +1,13 @@
-"""Labeled graph storage and RDF-to-graph transformations."""
+"""Labeled graph storage, RDF-to-graph transformations, reachability."""
 
 from repro.graph.labeled_graph import LabeledGraph, GraphBuilder
 from repro.graph.query_graph import QueryGraph, QueryVertex, QueryEdge
+from repro.graph.reachability import (
+    PathIndexManager,
+    ReachabilityIndex,
+    bfs_reachable,
+    bfs_reaches,
+)
 from repro.graph.transform import (
     direct_transform,
     type_aware_transform,
@@ -13,9 +19,13 @@ from repro.graph.transform import (
 __all__ = [
     "LabeledGraph",
     "GraphBuilder",
+    "PathIndexManager",
     "QueryGraph",
     "QueryVertex",
     "QueryEdge",
+    "ReachabilityIndex",
+    "bfs_reachable",
+    "bfs_reaches",
     "direct_transform",
     "type_aware_transform",
     "direct_transform_query",

@@ -6,7 +6,10 @@ solution modifiers ORDER BY / LIMIT / OFFSET (which the paper strips before
 timing, and which our engines therefore expose but the harness disables),
 extended with the SPARQL 1.1 aggregation fragment the columnar pipeline
 accelerates: ``COUNT(*)`` / ``COUNT(?v)`` / ``COUNT(DISTINCT ?v)``
-projections (:class:`Aggregate`) and ``GROUP BY``.
+projections (:class:`Aggregate`) and ``GROUP BY`` — and with SPARQL 1.1
+property paths, whose non-transitive shapes rewrite into triples and
+UNIONs at parse time (see :mod:`repro.sparql.paths`) while transitive
+steps survive as :class:`PathPattern` leaves.
 """
 
 from __future__ import annotations
@@ -25,6 +28,17 @@ class Variable(str):
 
     def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
         return f"?{str(self)}"
+
+
+#: Prefix of parser-generated join variables (property-path rewrites).  Users
+#: cannot write them (``?__x`` tokenizes, but the rewrite allocator owns the
+#: ``__path`` namespace), and ``SELECT *`` never projects them.
+SYNTHETIC_VARIABLE_PREFIX = "__path"
+
+
+def is_synthetic(variable: "Variable") -> bool:
+    """True for parser-generated variables (hidden from ``SELECT *``)."""
+    return variable.startswith(SYNTHETIC_VARIABLE_PREFIX)
 
 
 PatternTerm = Union[Variable, Term]
@@ -67,24 +81,66 @@ class TriplePattern:
         )
 
 
+@dataclass(frozen=True)
+class PathPattern:
+    """A transitive or optional property-path step: ``subject p± object``.
+
+    Only the path shapes that need closure or zero-length semantics survive
+    parsing as leaves — ``p+`` (``min_hops=1, max_hops=None``), ``p*``
+    (``0, None``) and ``p?`` (``0, 1``); sequences, alternations and plain
+    inverses rewrite into ordinary triples and UNIONs at parse time.
+    ``inverse`` traverses ``predicate`` edges object→subject (``(^p)+``).
+    ``predicate`` is always a concrete term: variable predicates cannot
+    carry path operators (the parser rejects them).
+    """
+
+    subject: PatternTerm
+    predicate: Term
+    object: PatternTerm
+    inverse: bool = False
+    min_hops: int = 0
+    max_hops: Optional[int] = None
+
+    def variables(self) -> Set[Variable]:
+        """Variables bound by this path's endpoints."""
+        return {t for t in (self.subject, self.object) if isinstance(t, Variable)}
+
+    def fingerprint(self) -> str:
+        """Canonical one-line form for plan-shape fingerprints."""
+        predicate = term_fingerprint(self.predicate)
+        if self.inverse:
+            predicate = f"^{predicate}"
+        high = "" if self.max_hops is None else str(self.max_hops)
+        return (
+            f"{term_fingerprint(self.subject)} "
+            f"path({predicate}){{{self.min_hops},{high}}} "
+            f"{term_fingerprint(self.object)}"
+        )
+
+
 @dataclass
 class GraphPattern:
-    """A group graph pattern: triples + filters + optionals + unions.
+    """A group graph pattern: triples + paths + filters + optionals + unions.
 
     ``unions`` holds one entry per UNION expression appearing in the group;
-    each entry is the list of alternative graph patterns.
+    each entry is the list of alternative graph patterns.  ``paths`` holds
+    the group's transitive :class:`PathPattern` leaves, which join with the
+    rest of the group exactly like triple patterns do.
     """
 
     triples: List[TriplePattern] = field(default_factory=list)
     filters: List[expr.Expression] = field(default_factory=list)
     optionals: List["GraphPattern"] = field(default_factory=list)
     unions: List["UnionPattern"] = field(default_factory=list)
+    paths: List[PathPattern] = field(default_factory=list)
 
     def variables(self) -> Set[Variable]:
         """All variables mentioned anywhere in the group (recursively)."""
         result: Set[Variable] = set()
         for pattern in self.triples:
             result |= pattern.variables()
+        for path in self.paths:
+            result |= path.variables()
         for optional in self.optionals:
             result |= optional.variables()
         for union in self.unions:
@@ -98,13 +154,20 @@ class GraphPattern:
         result: Set[Variable] = set()
         for pattern in self.triples:
             result |= pattern.variables()
+        for path in self.paths:
+            result |= path.variables()
         for union in self.unions:
             result |= union.variables()
         return result
 
     def is_basic(self) -> bool:
-        """True when the group is a plain BGP (no OPTIONAL/UNION/FILTER)."""
-        return not self.optionals and not self.unions and not self.filters
+        """True when the group is a plain BGP (no OPTIONAL/UNION/FILTER/path)."""
+        return (
+            not self.optionals
+            and not self.unions
+            and not self.filters
+            and not self.paths
+        )
 
 
 @dataclass
@@ -171,7 +234,8 @@ class SelectQuery:
         elif self.aggregates:
             names = []
         else:
-            names = sorted(self.where.variables())
+            # SELECT *: parser-generated path join variables stay hidden.
+            names = sorted(v for v in self.where.variables() if not is_synthetic(v))
         names.extend(aggregate.alias for aggregate in self.aggregates)
         return names
 

@@ -18,6 +18,7 @@ predicate) abbreviations and the ``a`` keyword.
 
 from __future__ import annotations
 
+import itertools
 import re
 from typing import Dict, List, Optional, Tuple, Union
 
@@ -26,6 +27,7 @@ from repro.rdf.namespaces import RDF, XSD
 from repro.rdf.terms import BlankNode, IRI, Literal, Term
 from repro.sparql import expressions as expr
 from repro.sparql.ast import (
+    SYNTHETIC_VARIABLE_PREFIX,
     Aggregate,
     GraphPattern,
     PatternTerm,
@@ -34,7 +36,21 @@ from repro.sparql.ast import (
     UnionPattern,
     Variable,
 )
+from repro.sparql.paths import (
+    PathAlt,
+    PathExpr,
+    PathLink,
+    PathMod,
+    PathSeq,
+    contains_variable,
+    invert,
+    rewrite_path,
+    trivial_link,
+)
 from repro.sparql.tokenizer import Token, tokenize
+
+#: Hop bounds of the three path modifiers.
+_PATH_MODIFIERS = {"+": (1, None), "*": (0, None), "?": (0, 1)}
 
 
 class _Parser:
@@ -42,6 +58,11 @@ class _Parser:
         self.tokens = tokens
         self.pos = 0
         self.prefixes: Dict[str, str] = {}
+        self._path_variables = itertools.count()
+
+    def _fresh_path_variable(self) -> Variable:
+        """A synthetic join variable for property-path rewrites."""
+        return Variable(f"{SYNTHETIC_VARIABLE_PREFIX}{next(self._path_variables)}")
 
     # ------------------------------------------------------------- token flow
     def peek(self, offset: int = 0) -> Token:
@@ -206,10 +227,11 @@ class _Parser:
                     group.filters.extend(nested.filters)
                     group.optionals.extend(nested.optionals)
                     group.unions.extend(nested.unions)
+                    group.paths.extend(nested.paths)
                 else:
                     group.unions.append(union)
             else:
-                group.triples.extend(self._parse_triples_block())
+                self._parse_triples_block(group)
             self.accept_op(".")
         return group
 
@@ -219,14 +241,19 @@ class _Parser:
             union.alternatives.append(self._parse_group())
         return union
 
-    def _parse_triples_block(self) -> List[TriplePattern]:
-        patterns: List[TriplePattern] = []
+    def _parse_triples_block(self, group: GraphPattern) -> None:
         subject = self._parse_pattern_term()
         while True:
-            predicate = self._parse_pattern_term(as_predicate=True)
+            position = self.peek().position
+            predicate, path = self._parse_predicate_or_path()
             while True:
                 obj = self._parse_pattern_term()
-                patterns.append(TriplePattern(subject, predicate, obj))
+                if path is not None:
+                    rewrite_path(
+                        subject, path, obj, group, self._fresh_path_variable, position
+                    )
+                else:
+                    group.triples.append(TriplePattern(subject, predicate, obj))
                 if not self.accept_op(","):
                     break
             if self.accept_op(";"):
@@ -238,7 +265,72 @@ class _Parser:
                     break
                 continue
             break
-        return patterns
+
+    # ---------------------------------------------------------- property paths
+    def _parse_predicate_or_path(self) -> Tuple[Optional[PatternTerm], Optional[PathExpr]]:
+        """Parse the predicate position: a plain term or a path expression.
+
+        Returns ``(term, None)`` for a plain predicate (IRIs, ``a``, and
+        variable predicates keep their pre-path meaning) and ``(None,
+        path)`` for a real path expression.  Path expressions over variable
+        predicates are rejected: a path step addresses a concrete
+        per-predicate reachability index.
+        """
+        position = self.peek().position
+        path = self._parse_path_expression()
+        link = trivial_link(path)
+        if link is not None:
+            return link.predicate, None
+        if contains_variable(path):
+            raise SPARQLSyntaxError(
+                "variable predicates cannot appear in property paths", position
+            )
+        return None, path
+
+    def _parse_path_expression(self) -> PathExpr:
+        alternatives = [self._parse_path_sequence()]
+        while self.accept_op("|"):
+            alternatives.append(self._parse_path_sequence())
+        if len(alternatives) == 1:
+            return alternatives[0]
+        return PathAlt(tuple(alternatives))
+
+    def _parse_path_sequence(self) -> PathExpr:
+        steps = [self._parse_path_step()]
+        while self.accept_op("/"):
+            steps.append(self._parse_path_step())
+        if len(steps) == 1:
+            return steps[0]
+        return PathSeq(tuple(steps))
+
+    def _parse_path_step(self) -> PathExpr:
+        inverse = self.accept_op("^")
+        step = self._parse_path_primary()
+        token = self.peek()
+        if token.kind == "OP" and token.text in _PATH_MODIFIERS:
+            self.next()
+            min_hops, max_hops = _PATH_MODIFIERS[token.text]
+            step = PathMod(step, min_hops, max_hops)
+        # SPARQL grammar: '^' binds outside the modifier (^p+ means ^(p+)).
+        return invert(step) if inverse else step
+
+    def _parse_path_primary(self) -> PathExpr:
+        token = self.next()
+        if token.kind == "VAR":
+            return PathLink(Variable(token.text[1:]))
+        if token.kind == "IRI":
+            return PathLink(IRI(token.text[1:-1]))
+        if token.kind == "A":
+            return PathLink(RDF.type)
+        if token.kind == "PNAME":
+            return PathLink(self._resolve_pname(token))
+        if token.kind == "OP" and token.text == "(":
+            inner = self._parse_path_expression()
+            self.expect_op(")")
+            return inner
+        raise SPARQLSyntaxError(
+            f"unexpected token {token.text!r} in property path", token.position
+        )
 
     def _parse_pattern_term(self, as_predicate: bool = False) -> PatternTerm:
         token = self.next()

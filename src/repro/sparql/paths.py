@@ -1,0 +1,218 @@
+"""Property-path expressions: the parse-time mini-AST and its rewrite.
+
+The parser recognises the SPARQL 1.1 property-path grammar at the predicate
+position of a triple pattern::
+
+    path     := sequence ('|' sequence)*
+    sequence := step ('/' step)*
+    step     := '^'? primary ('*' | '+' | '?')?
+    primary  := IRI | PNAME | 'a' | '(' path ')'
+
+and this module lowers the resulting expression tree onto the engine's
+existing algebra (:func:`rewrite_path`):
+
+* a plain link becomes an ordinary :class:`~repro.sparql.ast.TriplePattern`
+  (an inverse link swaps subject and object);
+* a sequence chains its steps through fresh parser-generated join
+  variables (``__path0``, ``__path1``, ... — hidden from ``SELECT *``);
+* an alternation becomes a :class:`~repro.sparql.ast.UnionPattern` with one
+  alternative graph pattern per branch;
+* a modified step (``p+`` / ``p*`` / ``p?``) survives as a
+  :class:`~repro.sparql.ast.PathPattern` leaf, evaluated on the
+  per-predicate reachability indexes (see :mod:`repro.graph.reachability`).
+
+The supported modifier subset is *single-link* bodies: the inner expression
+of ``+``/``*``/``?`` must normalise to one (possibly inverse) IRI step.
+Composite bodies (``(p1/p2)+``) and nested modifiers (``(p+)?``) raise
+:class:`~repro.exceptions.SPARQLSyntaxError` — the rewrite has no
+finite-algebra target for them.  Variable predicates never combine with
+path operators (also a parse error): a path step selects a concrete
+per-predicate index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple, Union
+
+from repro.exceptions import SPARQLSyntaxError
+from repro.rdf.terms import Term
+from repro.sparql.ast import (
+    GraphPattern,
+    PathPattern,
+    PatternTerm,
+    TriplePattern,
+    UnionPattern,
+    Variable,
+)
+
+PathExpr = Union["PathLink", "PathSeq", "PathAlt", "PathMod"]
+
+#: Fresh-variable allocator supplied by the parser (one namespace per query).
+FreshVariable = Callable[[], Variable]
+
+
+@dataclass(frozen=True)
+class PathLink:
+    """One edge traversal: a predicate term, optionally inverted (``^p``).
+
+    ``predicate`` may be a :class:`~repro.sparql.ast.Variable` only while
+    the expression is a *trivial* single link (a plain variable predicate);
+    :func:`rewrite_path` rejects variables inside any real path shape.
+    """
+
+    predicate: PatternTerm
+    inverse: bool = False
+
+
+@dataclass(frozen=True)
+class PathSeq:
+    """A sequence ``p1/p2/...`` (relation composition)."""
+
+    steps: Tuple[PathExpr, ...]
+
+
+@dataclass(frozen=True)
+class PathAlt:
+    """An alternation ``p1|p2|...`` (relation union)."""
+
+    alternatives: Tuple[PathExpr, ...]
+
+
+@dataclass(frozen=True)
+class PathMod:
+    """A modified step: ``p+`` (1,∞), ``p*`` (0,∞) or ``p?`` (0,1)."""
+
+    inner: PathExpr
+    min_hops: int
+    max_hops: Optional[int]
+
+
+def invert(path: PathExpr) -> PathExpr:
+    """The inverse relation ``^path``.
+
+    Distributes structurally: an inverted sequence is the reversed sequence
+    of inverted steps, an inverted alternation/modifier inverts its parts.
+    """
+    if isinstance(path, PathLink):
+        return PathLink(path.predicate, not path.inverse)
+    if isinstance(path, PathSeq):
+        return PathSeq(tuple(invert(step) for step in reversed(path.steps)))
+    if isinstance(path, PathAlt):
+        return PathAlt(tuple(invert(alt) for alt in path.alternatives))
+    return PathMod(invert(path.inner), path.min_hops, path.max_hops)
+
+
+def trivial_link(path: PathExpr) -> Optional[PathLink]:
+    """The plain forward link of a trivial path, or None.
+
+    A trivial path is a single non-inverted link (possibly wrapped in
+    redundant one-element sequences/alternations) — exactly the shapes the
+    parser folds back into an ordinary triple-pattern predicate so variable
+    predicates and existing queries keep their old meaning.
+    """
+    if isinstance(path, PathLink):
+        return path if not path.inverse else None
+    if isinstance(path, PathSeq) and len(path.steps) == 1:
+        return trivial_link(path.steps[0])
+    if isinstance(path, PathAlt) and len(path.alternatives) == 1:
+        return trivial_link(path.alternatives[0])
+    return None
+
+
+def contains_variable(path: PathExpr) -> bool:
+    """True when any link's predicate is a variable."""
+    if isinstance(path, PathLink):
+        return isinstance(path.predicate, Variable)
+    if isinstance(path, PathSeq):
+        return any(contains_variable(step) for step in path.steps)
+    if isinstance(path, PathAlt):
+        return any(contains_variable(alt) for alt in path.alternatives)
+    return contains_variable(path.inner)
+
+
+def _single_link(path: PathExpr, position: int) -> PathLink:
+    """Normalise a modifier body to its single link, or raise.
+
+    Unwraps redundant one-element sequences and alternations; anything with
+    real structure under a modifier is outside the supported subset.
+    """
+    if isinstance(path, PathLink):
+        return path
+    if isinstance(path, PathSeq) and len(path.steps) == 1:
+        return _single_link(path.steps[0], position)
+    if isinstance(path, PathAlt) and len(path.alternatives) == 1:
+        return _single_link(path.alternatives[0], position)
+    if isinstance(path, PathMod):
+        raise SPARQLSyntaxError(
+            "nested path modifiers are not supported", position
+        )
+    raise SPARQLSyntaxError(
+        "path modifiers (+ * ?) only apply to a single, possibly inverse, "
+        "IRI step",
+        position,
+    )
+
+
+def rewrite_path(
+    subject: PatternTerm,
+    path: PathExpr,
+    obj: PatternTerm,
+    group: GraphPattern,
+    fresh: FreshVariable,
+    position: int = 0,
+) -> None:
+    """Lower ``subject path obj`` into ``group``'s algebra (in place).
+
+    ``fresh`` allocates the synthetic join variables chaining sequence
+    steps; ``position`` is the source offset reported by subset errors.
+    """
+    if isinstance(path, PathLink):
+        if path.inverse:
+            subject, obj = obj, subject
+        group.triples.append(TriplePattern(subject, path.predicate, obj))
+        return
+    if isinstance(path, PathSeq):
+        if not path.steps:
+            raise SPARQLSyntaxError("empty path sequence", position)
+        current = subject
+        for index, step in enumerate(path.steps):
+            target = obj if index == len(path.steps) - 1 else fresh()
+            rewrite_path(current, step, target, group, fresh, position)
+            current = target
+        return
+    if isinstance(path, PathAlt):
+        alternatives: List[GraphPattern] = []
+        for alt in path.alternatives:
+            branch = GraphPattern()
+            rewrite_path(subject, alt, obj, branch, fresh, position)
+            alternatives.append(branch)
+        if len(alternatives) == 1:
+            _merge_group(group, alternatives[0])
+        else:
+            group.unions.append(UnionPattern(alternatives=alternatives))
+        return
+    link = _single_link(path.inner, position)
+    if isinstance(link.predicate, Variable):
+        raise SPARQLSyntaxError(
+            "variable predicates cannot carry path operators", position
+        )
+    group.paths.append(
+        PathPattern(
+            subject=subject,
+            predicate=link.predicate,
+            object=obj,
+            inverse=link.inverse,
+            min_hops=path.min_hops,
+            max_hops=path.max_hops,
+        )
+    )
+
+
+def _merge_group(group: GraphPattern, nested: GraphPattern) -> None:
+    """Fold a single-alternative branch into its parent group."""
+    group.triples.extend(nested.triples)
+    group.filters.extend(nested.filters)
+    group.optionals.extend(nested.optionals)
+    group.unions.extend(nested.unions)
+    group.paths.extend(nested.paths)

@@ -37,7 +37,7 @@ _TOKEN_RE = re.compile(
   | (?P<NUMBER>[+-]?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)
   | (?P<PNAME>[A-Za-z_][\w\-]*:[\w\-.%]*|:[\w\-.%]+)
   | (?P<NAME>[A-Za-z_][\w\-]*)
-  | (?P<OP>\|\||&&|!=|<=|>=|[{}().,;=<>!*/+\-\[\]])
+  | (?P<OP>\|\||&&|!=|<=|>=|[{}().,;=<>!*/+\-\[\]|^?])
   | (?P<COMMENT>\#[^\n]*)
   | (?P<WS>\s+)
     """,

@@ -431,8 +431,13 @@ class TestEngineSpillLifecycle:
         oracle = unbounded.query(sparql)
         unbounded.close()
 
+        # Spill counters are batch-join internals: pin the pipeline so the
+        # REPRO_RESULT_PIPELINE=scalar CI pass keeps asserting them.
         engine = TurboHomPPEngine(
-            execution_mode="threads", join_memory_bytes=2048, join_partitions=4
+            execution_mode="threads",
+            result_pipeline="batch",
+            join_memory_bytes=2048,
+            join_partitions=4,
         )
         engine.load(fanout_store)
         result = engine.query(sparql)
@@ -458,7 +463,9 @@ class TestEngineSpillLifecycle:
         engine.close()
 
     def test_stats_surface_operator_counters(self, fanout_store):
-        engine = TurboHomPPEngine(execution_mode="threads")
+        # groups_emitted/rows_decoded meter the batch kernels: pin the
+        # pipeline so the scalar CI pass keeps asserting the exact counts.
+        engine = TurboHomPPEngine(execution_mode="threads", result_pipeline="batch")
         engine.load(fanout_store)
         engine.query(
             PREFIX + "SELECT ?a (COUNT(?b) AS ?n) WHERE { ?a ex:link ?b . } GROUP BY ?a"
