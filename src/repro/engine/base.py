@@ -350,10 +350,8 @@ class Engine(abc.ABC):
         """The engine's basic-graph-pattern solver."""
 
     # ---------------------------------------------------------------- queries
-    def query(self, query: Union[str, SelectQuery]) -> ResultSet:
-        """Answer a SPARQL SELECT query."""
-        from repro.engine.evaluator import evaluate_query
-
+    def _parse_checked(self, query: Union[str, SelectQuery]) -> SelectQuery:
+        """Parse a query and reject feature surface this engine lacks."""
         parsed = parse_sparql(query) if isinstance(query, str) else query
         if not self.supports_optional and _uses_optional(parsed):
             raise EngineError(f"{self.name} does not support OPTIONAL")
@@ -361,7 +359,39 @@ class Engine(abc.ABC):
             raise EngineError(
                 f"{self.name} does not support transitive property paths"
             )
-        return evaluate_query(parsed, self.bgp_solver())
+        return parsed
+
+    def query(self, query: Union[str, SelectQuery]) -> ResultSet:
+        """Answer a SPARQL SELECT query."""
+        from repro.engine.evaluator import evaluate_query
+
+        return evaluate_query(self._parse_checked(query), self.bgp_solver())
+
+    def query_batches(self, query: Union[str, SelectQuery]):
+        """Answer a SELECT query as a stream of columnar batches.
+
+        The streaming twin of :meth:`query`: returns a
+        :class:`~repro.sparql.binding_batch.BatchResult` whose batches are
+        final (joined, deduplicated, sorted, sliced) and decode
+        incrementally — the entry point the wire serializers and the
+        serving front-end consume, never materializing a row-dict
+        :class:`~repro.sparql.results.ResultSet`.  Solvers without a batch
+        surface stream scalar rows through a term-column adapter with
+        identical semantics.  Closing the result (or abandoning it
+        mid-iteration) cancels the evaluation.
+        """
+        from repro.engine.evaluator import stream_query_rows
+        from repro.engine.operators.pipeline import stream_query_batches
+        from repro.sparql.binding_batch import BatchResult, batches_from_bindings
+
+        parsed = self._parse_checked(query)
+        solver = self.bgp_solver()
+        if solver.supports_batches():
+            projection, batches = stream_query_batches(parsed, solver)
+        else:
+            projection, rows = stream_query_rows(parsed, solver)
+            batches = batches_from_bindings(projection, rows)
+        return BatchResult(projection, batches)
 
     def count(self, query: Union[str, SelectQuery]) -> int:
         """Number of solutions of a query."""

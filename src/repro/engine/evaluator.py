@@ -59,13 +59,33 @@ from repro.sparql import expressions as expr
 from repro.sparql.ast import GraphPattern, SelectQuery
 from repro.sparql.results import Binding, ResultSet
 
-__all__ = ["evaluate_query", "evaluate_group", "evaluate_group_batches"]
+__all__ = [
+    "evaluate_query",
+    "evaluate_group",
+    "evaluate_group_batches",
+    "stream_query_rows",
+]
 
 
 def evaluate_query(query: SelectQuery, solver: BGPSolver) -> ResultSet:
     """Evaluate a SELECT query with the given BGP solver."""
     if solver.supports_batches():
         return evaluate_query_batches(query, solver)
+    projection, rows = stream_query_rows(query, solver)
+    return ResultSet(projection, rows)
+
+
+def stream_query_rows(
+    query: SelectQuery, solver: BGPSolver
+) -> Tuple[List[str], Iterator[Binding]]:
+    """The streaming core of the scalar path: ``(projection, rows)``.
+
+    The row twin of
+    :func:`repro.engine.operators.pipeline.stream_query_batches`, for
+    solvers without a batch surface: rows stream lazily except through
+    ORDER BY, which is inherently blocking.  The caller must not use this
+    for batch-capable solvers (``evaluate_query`` dispatches first).
+    """
     from repro.engine.plan import compose_plan_shape
 
     plan_shape = compose_plan_shape(query.aggregate_shape(), query.where.paths)
@@ -98,11 +118,11 @@ def evaluate_query(query: SelectQuery, solver: BGPSolver) -> ResultSet:
         result = result.order_by([(str(v), asc) for v, asc in query.order_by])
         if query.limit is not None or query.offset:
             result = result.slice(query.limit, query.offset)
-        return result
+        return projection, iter(result.rows)
     if query.limit is not None or query.offset:
         end = None if query.limit is None else query.offset + query.limit
         rows = itertools.islice(rows, query.offset, end)
-    return ResultSet(projection, rows)
+    return projection, rows
 
 
 def evaluate_group(

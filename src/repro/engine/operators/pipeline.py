@@ -19,7 +19,7 @@ solvers so plan caches key aggregate and plain plans apart.
 from __future__ import annotations
 
 import itertools
-from typing import Iterator, Optional, Set
+from typing import Iterator, List, Optional, Set, Tuple
 
 from repro.engine.base import BGPSolver
 from repro.engine.operators.aggregate import batch_aggregate
@@ -47,6 +47,24 @@ def _count_decoded(
 
 def evaluate_query_batches(query: SelectQuery, solver: BGPSolver) -> ResultSet:
     """Evaluate a SELECT query on the batch pipeline."""
+    projection, batches = stream_query_batches(query, solver)
+    return ResultSet.from_batches(projection, batches)
+
+
+def stream_query_batches(
+    query: SelectQuery, solver: BGPSolver
+) -> Tuple[List[str], Iterator[BindingBatch]]:
+    """The streaming core of the batch pipeline: ``(projection, batches)``.
+
+    Every batch that crosses this boundary is final — joined, deduplicated,
+    sorted and sliced — so consumers (``ResultSet.from_batches``, the wire
+    serializers) may decode it incrementally without ever materializing the
+    full result.  Emitted rows are metered through ``rows_decoded``, which
+    is what pins the streaming path to late materialization: a ``LIMIT k``
+    query decodes exactly the rows it emits.  Closing the returned
+    generator cancels the evaluation (the stop/cancel machinery of the
+    matcher pools runs from the generator chain's ``finally`` blocks).
+    """
     context = solver.operator_context()
     counters = context.counters
     projection = [str(v) for v in query.projection()]
@@ -84,10 +102,9 @@ def evaluate_query_batches(query: SelectQuery, solver: BGPSolver) -> ResultSet:
             query.limit,
             query.offset,
         )
-        return ResultSet.from_batches(projection, _count_decoded(batches, counters))
-    if query.limit is not None or query.offset:
+    elif query.limit is not None or query.offset:
         batches = batch_limit_offset(batches, query.limit, query.offset)
-    return ResultSet.from_batches(projection, _count_decoded(batches, counters))
+    return projection, _count_decoded(batches, counters)
 
 
 def evaluate_group_batches(

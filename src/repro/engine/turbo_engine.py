@@ -42,6 +42,7 @@ fingerprint (see ``docs/execution_modes.md``).
 from __future__ import annotations
 
 import itertools
+import threading
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
@@ -82,10 +83,12 @@ from repro.rdf.store import TripleStore
 from repro.rdf.terms import Term
 from repro.sparql import expressions as expr
 from repro.sparql.ast import TriplePattern
+from repro.exceptions import EngineError
 from repro.sparql.binding_batch import (
     KIND_ID,
     KIND_TERM,
     BatchBuilder,
+    BatchResult,
     BindingBatch,
     slice_batches,
 )
@@ -953,6 +956,15 @@ class TurboEngine(Engine):
         self._pool: Optional[ParallelMatcher] = None
         self._executor: Optional[ShardExecutor] = None
         self._path_manager: Optional[PathIndexManager] = None
+        #: Serializes lazy solver/pool construction so two threads firing
+        #: their first query cannot race two worker pools into existence
+        #: (one of which would leak unjoined threads or processes).
+        self._solver_lock = threading.Lock()
+        #: Close-cycle marker captured by every open result stream: close()
+        #: sets it (and installs a fresh one), making in-flight streams end
+        #: with a clear EngineError at their next batch boundary instead of
+        #: silently truncating or deadlocking.
+        self._close_event = threading.Event()
 
     def load(self, store: TripleStore) -> None:
         """Transform the store into the engine's labeled graph."""
@@ -974,6 +986,10 @@ class TurboEngine(Engine):
     def bgp_solver(self) -> TurboBGPSolver:
         if self.graph is None or self.mapping is None:
             raise RuntimeError(f"{self.name}: load() must be called before querying")
+        with self._solver_lock:
+            return self._bgp_solver_locked()
+
+    def _bgp_solver_locked(self) -> TurboBGPSolver:
         if self._solver is None:
             if self.workers > 1:
                 if self.execution_mode == "processes" and self._executor is None:
@@ -1016,6 +1032,44 @@ class TurboEngine(Engine):
         self._solver.region_cache = self.region_cache
         self._solver.path_manager = self._path_manager
         return self._solver
+
+    # ------------------------------------------------------------- streaming
+    def query_batches(self, query) -> BatchResult:
+        """Streaming query surface with deterministic close semantics.
+
+        Wraps the base implementation so a concurrent :meth:`close` makes
+        an open stream raise a clear :class:`EngineError` at its next batch
+        boundary (the pools retire their jobs, so that boundary arrives
+        promptly) instead of silently truncating the result.
+        """
+        result = super().query_batches(query)
+        return BatchResult(
+            result.variables, self._guard_stream(result, self._close_event)
+        )
+
+    def _guard_stream(
+        self, batches: BatchResult, closed: threading.Event
+    ) -> Iterator[BindingBatch]:
+        try:
+            while True:
+                if closed.is_set():
+                    raise EngineError(
+                        f"{self.name}: engine closed while a result stream was open"
+                    )
+                try:
+                    batch = next(batches)
+                except StopIteration:
+                    if closed.is_set():
+                        # The pool retired our job mid-stream: this is a
+                        # truncation, not a completed result.
+                        raise EngineError(
+                            f"{self.name}: engine closed while a result stream "
+                            "was open"
+                        ) from None
+                    return
+                yield batch
+        finally:
+            batches.close()
 
     def stats(self) -> Dict[str, object]:
         """Operational counters: plan cache, result pipeline, shard transport.
@@ -1099,7 +1153,20 @@ class TurboEngine(Engine):
         }
 
     def close(self) -> None:
-        """Shut down the worker pool / shard executor and spill storage."""
+        """Shut down the worker pool / shard executor and spill storage.
+
+        Safe to call repeatedly and safe to call while result streams are
+        open: in-flight :meth:`query_batches` streams observe the close
+        marker and raise a clear :class:`EngineError` at their next batch
+        boundary (the pools retire their jobs first, so that boundary
+        arrives instead of deadlocking on a torn-down pool).  The engine
+        stays usable — a later query lazily rebuilds the solver and pools.
+        """
+        # Flip the close marker first (and install a fresh one for streams
+        # opened after this close), so a stream racing the teardown below
+        # errors out instead of reading from a half-closed pool.
+        closed, self._close_event = self._close_event, threading.Event()
+        closed.set()
         # Spill files are query-scoped; any that survive here were leaked
         # by an interrupted query (or a crashed worker), so sweep the
         # context's temp directory.  The context stays usable: the next

@@ -41,6 +41,7 @@ from repro.graph.query_graph import QueryGraph
 from repro.matching.candidate_region import VertexPredicate
 from repro.matching.config import MatchConfig
 from repro.matching.shard_protocol import (
+    StreamGate,
     StreamOutcome,
     chunk_ranges,
     merge_solution_batches,
@@ -269,6 +270,9 @@ class ParallelMatcher:
         #: bounded output queue only re-checks its job's stop event, so
         #: joining without stopping active jobs would deadlock.
         self._active_jobs: "weakref.WeakSet[_MatchJob]" = weakref.WeakSet()
+        #: Serializes streams across threads (same-thread overlap keeps the
+        #: historical supersede semantics; see :class:`StreamGate`).
+        self._gate = StreamGate()
 
     # ------------------------------------------------------------------- pool
     def _ensure_pool(self) -> None:
@@ -298,12 +302,16 @@ class ParallelMatcher:
         deadlock on the bounded result queue.
         """
         if not self._threads:
+            self._gate.force_release()
             return
         # Shutdown ordering: stop active jobs, then enqueue the sentinels,
         # then join.  A worker blocked in a stop-aware put on a full output
         # queue needs its job stopped before it can reach the sentinel.
         for job in list(self._active_jobs):
             job.stop.set()
+        # Unblock any thread queued behind a stream that will never finish
+        # normally; its job was just stopped, so the revoked stream ends.
+        self._gate.force_release()
         if self._finalizer is not None:
             self._finalizer()  # pushes one sentinel per worker, exactly once
             self._finalizer = None
@@ -358,12 +366,12 @@ class ParallelMatcher:
         queries skip start-vertex selection and query-tree construction.
         ``self.last_stats`` is populated once the generator is exhausted.
 
-        Jobs are serialized per pool: starting a new match while an earlier
-        stream of this pool is still open *supersedes* the old stream,
-        which keeps whatever it already delivered and then ends — i.e. an
-        interleaved consumer sees a silently truncated (never corrupted)
-        result.  Fully consume, ``close()`` or drop a stream before the
-        next query if completeness matters.
+        Jobs are serialized per pool.  Starting a new match from the thread
+        whose earlier stream is still open *supersedes* the old stream,
+        which keeps whatever it already delivered and then ends (that
+        thread cannot drive both, so waiting would deadlock).  A match
+        started from any *other* thread blocks until the open stream
+        finishes, so concurrent consumers always see complete results.
         """
         start_time = time.perf_counter()
         predicates = vertex_predicates or {}
@@ -397,23 +405,33 @@ class ParallelMatcher:
 
         if prepared is None:
             prepared = prepare_query(self.graph, query, self.config)
-        job = _MatchJob(
-            self.graph, self.config, query, prepared, predicates,
-            self.chunk_size, self.workers,
-            region_cache=region_cache, region_key=region_key,
-        )
-        self._ensure_pool()
-        # Jobs are serialized per pool: a predecessor whose stream was left
-        # open (suspended, not closed) would keep workers parked in its
-        # bounded output queue and starve this job — supersede it.  The old
-        # stream keeps whatever was already queued for it and then ends.
-        for previous in list(self._active_jobs):
-            if not previous.done.is_set():
-                previous.stop.set()
-                previous.done.wait()
-        self._active_jobs.add(job)
-        for _ in range(self.workers):
-            self._jobs.put(job)
+        # Cross-thread serialization: a second thread waits here until the
+        # open stream finishes; the owning thread passes straight through
+        # (inheriting the lease) and supersedes its predecessor below.
+        lease = self._gate.acquire()
+        try:
+            job = _MatchJob(
+                self.graph, self.config, query, prepared, predicates,
+                self.chunk_size, self.workers,
+                region_cache=region_cache, region_key=region_key,
+            )
+            self._ensure_pool()
+            # Jobs are serialized per pool: a predecessor whose stream was
+            # left open (suspended, not closed) would keep workers parked in
+            # its bounded output queue and starve this job — supersede it.
+            # Only the thread that owns the old stream can reach this point
+            # while it is open; the old stream keeps whatever was already
+            # queued for it and then ends.
+            for previous in list(self._active_jobs):
+                if not previous.done.is_set():
+                    previous.stop.set()
+                    previous.done.wait()
+            self._active_jobs.add(job)
+            for _ in range(self.workers):
+                self._jobs.put(job)
+        except BaseException:
+            self._gate.release(lease)
+            raise
 
         def poll(timeout: float) -> Optional[SolutionBatch]:
             """Next batch, a zero-row batch for a wake token, None when idle."""
@@ -442,6 +460,7 @@ class ParallelMatcher:
                 per_worker_work=job.per_worker_work,
                 per_chunk_work=job.per_chunk_work,
             )
+            self._gate.release(lease)
         # A worker error is surfaced only when the enumeration ran to
         # exhaustion.  After an intentional early stop (max_results reached)
         # the delivered solutions are complete and the sequential path would

@@ -62,6 +62,7 @@ from repro.matching.config import MatchConfig
 from repro.matching.parallel import ParallelStats
 from repro.matching.result_ring import DEFAULT_RING_SLOTS, ResultRing, RingWriter
 from repro.matching.shard_protocol import (
+    StreamGate,
     StreamOutcome,
     chunk_ranges,
     merge_solution_batches,
@@ -434,6 +435,9 @@ class ProcessShardPool:
         #: strictly serialized: dispatching a new one first cancels and
         #: drains any predecessor whose stream was left open.
         self._active_job: Optional[_JobState] = None
+        #: Serializes streams across threads (same-thread overlap keeps the
+        #: historical supersede semantics; see :class:`StreamGate`).
+        self._gate = StreamGate()
 
     # ------------------------------------------------------------------- pool
     def _context(self):
@@ -502,6 +506,9 @@ class ProcessShardPool:
             # cleanup must not wait on them.
             self._active_job.retired = True
             self._active_job = None
+        # Unblock any thread queued behind a stream that will never finish
+        # normally; the job was just retired, so the revoked stream ends.
+        self._gate.force_release()
         if self._finalizer is not None:
             self._finalizer()  # terminates workers and unlinks, exactly once
             self._finalizer = None
@@ -608,12 +615,12 @@ class ProcessShardPool:
         the sequential fallback for single-vertex queries / one worker,
         result limits, and error propagation only on exhaustive runs.
 
-        Jobs are serialized per pool: starting a new match while an earlier
-        stream of this pool is still open *supersedes* the old stream,
-        which keeps whatever it already delivered and then ends — i.e. an
-        interleaved consumer sees a silently truncated (never corrupted)
-        result.  Fully consume, ``close()`` or drop a stream before the
-        next query if completeness matters.
+        Jobs are serialized per pool.  Starting a new match from the thread
+        whose earlier stream is still open *supersedes* the old stream,
+        which keeps whatever it already delivered and then ends (that
+        thread cannot drive both, so waiting would deadlock).  A match
+        started from any *other* thread blocks until the open stream
+        finishes, so concurrent consumers always see complete results.
         """
         start_time = time.perf_counter()
         predicates = vertex_predicates or {}
@@ -646,28 +653,37 @@ class ProcessShardPool:
 
         if prepared is None:
             prepared = prepare_query(self.graph, query, self.config)
-        self._ensure_pool()
-        self._supersede_active_job()
+        # Cross-thread serialization: a second thread waits here until the
+        # open stream finishes; the owning thread passes straight through
+        # (inheriting the lease) and supersedes its predecessor below.
+        lease = self._gate.acquire()
+        try:
+            self._ensure_pool()
+            self._supersede_active_job()
 
-        job = _JobState(next(self._job_ids), self.workers)
-        # Pickle before any dispatch or bookkeeping: an unpicklable payload
-        # (e.g. a lambda predicate) must raise to the caller without leaving
-        # a phantom active job the next match would wait on forever.
-        payload_bytes: Optional[bytes] = None
-        if plan_key is None or plan_key not in self._shipped:
-            payload_bytes = pickle.dumps(ShardPayload(query, prepared, predicates))
-        if plan_key is not None:
-            # Mirror of the workers' payload LRU (same _lru_touch policy on
-            # the same job sequence), so a key present here is guaranteed to
-            # still be cached by every worker.
-            _lru_touch(self._shipped, plan_key, None)
-        for control in self._controls:
-            control.put(("job", job.job_id, plan_key, payload_bytes))
-        for lo, hi in chunk_ranges(len(prepared.start_candidates), self.chunk_size):
-            self._chunks.put(("range", job.job_id, lo, hi))
-        for _ in range(self.workers):
-            self._chunks.put(("end", job.job_id))
-        self._active_job = job
+            job = _JobState(next(self._job_ids), self.workers)
+            # Pickle before any dispatch or bookkeeping: an unpicklable
+            # payload (e.g. a lambda predicate) must raise to the caller
+            # without leaving a phantom active job the next match would wait
+            # on forever.
+            payload_bytes: Optional[bytes] = None
+            if plan_key is None or plan_key not in self._shipped:
+                payload_bytes = pickle.dumps(ShardPayload(query, prepared, predicates))
+            if plan_key is not None:
+                # Mirror of the workers' payload LRU (same _lru_touch policy
+                # on the same job sequence), so a key present here is
+                # guaranteed to still be cached by every worker.
+                _lru_touch(self._shipped, plan_key, None)
+            for control in self._controls:
+                control.put(("job", job.job_id, plan_key, payload_bytes))
+            for lo, hi in chunk_ranges(len(prepared.start_candidates), self.chunk_size):
+                self._chunks.put(("range", job.job_id, lo, hi))
+            for _ in range(self.workers):
+                self._chunks.put(("end", job.job_id))
+            self._active_job = job
+        except BaseException:
+            self._gate.release(lease)
+            raise
 
         def handle_control(message) -> None:
             kind = message[0]
@@ -748,6 +764,7 @@ class ProcessShardPool:
                 per_worker_work=job.per_worker_work,
                 per_chunk_work=job.per_chunk_work,
             )
+            self._gate.release(lease)
         # As in the thread pool, a worker error is surfaced only when the
         # enumeration ran to exhaustion; after an intentional early stop the
         # delivered solutions are complete.

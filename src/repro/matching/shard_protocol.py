@@ -29,6 +29,7 @@ through the ``emit`` / ``stopped`` / ``poll`` / ``finished`` callables.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
@@ -49,6 +50,70 @@ from repro.matching.turbo import PreparedQuery, TurboMatcher
 
 #: How long the consumer waits for one batch before re-checking liveness.
 POLL_INTERVAL = 0.05
+
+
+class StreamGate:
+    """Cross-thread serialization of one pool's solution streams.
+
+    Both shard pools run jobs strictly serialized over shared queues, and a
+    new match historically *superseded* a still-open stream.  That is the
+    right call within one thread — the thread driving the old generator is
+    the one asking for a new stream, so blocking it would deadlock — but
+    across threads it silently truncated the first consumer's results.
+
+    The gate keeps both behaviours apart: the thread that owns the open
+    stream may start a new one immediately (it inherits the lease and the
+    pool supersedes the predecessor as before), while any *other* thread
+    blocks in :meth:`acquire` until the open stream finishes.  Leases make
+    hand-off safe: a superseded generator's cleanup finds its lease revoked
+    and leaves the lock alone.
+
+    ``force_release`` unblocks waiters during pool shutdown; the pool
+    retires the active job first, so a revoked stream ends instead of
+    yielding more data.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        #: Protects the (owner thread, lease) pair; never held while
+        #: blocking on ``_lock``.
+        self._guard = threading.Lock()
+        self._owner: Optional[int] = None
+        self._lease: Optional[object] = None
+
+    def acquire(self) -> object:
+        """Take (or inherit) the stream lock; returns the new lease token."""
+        me = threading.get_ident()
+        lease = object()
+        with self._guard:
+            if self._lease is not None and self._owner == me:
+                # Same-thread overlap: hand the lease to the new stream so
+                # the superseded predecessor's cleanup becomes a no-op.
+                self._lease = lease
+                return lease
+        self._lock.acquire()
+        with self._guard:
+            self._owner = me
+            self._lease = lease
+        return lease
+
+    def release(self, lease: object) -> None:
+        """Release the lock if ``lease`` still owns it (else: superseded)."""
+        with self._guard:
+            if self._lease is not lease:
+                return
+            self._lease = None
+            self._owner = None
+            self._lock.release()
+
+    def force_release(self) -> None:
+        """Revoke any outstanding lease (pool shutdown): waiters proceed."""
+        with self._guard:
+            if self._lease is None:
+                return
+            self._lease = None
+            self._owner = None
+            self._lock.release()
 
 
 def chunk_ranges(total: int, chunk_size: int) -> List[Tuple[int, int]]:
@@ -224,6 +289,12 @@ def merge_solution_batches(
                 draining = True
             continue
         if batch.rows == 0:
+            # A wake token usually means a worker left the job: re-check
+            # completion now instead of sleeping out the next poll timeout
+            # (the last token used to cost every query one POLL_INTERVAL
+            # of idle latency before the stream noticed it was done).
+            if not draining and finished():
+                draining = True
             continue
         if limit is not None and outcome.delivered + batch.rows >= limit:
             take = limit - outcome.delivered

@@ -213,6 +213,82 @@ class BatchBuilder:
         return BindingBatch(self.variables, self.columns, self.kinds, self.rows, self.decoder)
 
 
+class BatchResult:
+    """A streaming query result: projected variables plus a batch iterator.
+
+    What :meth:`Engine.query_batches` returns — the streaming twin of a
+    :class:`~repro.sparql.results.ResultSet`.  Iterating yields
+    :class:`BindingBatch` objects whose rows are final (joined, sliced,
+    deduplicated); :meth:`close` abandons the stream, which cancels the
+    evaluation underneath (matcher pools fan the stop out to their
+    workers).  Usable as a context manager so serving code cannot leak a
+    running query on an error path.
+    """
+
+    __slots__ = ("variables", "_batches")
+
+    def __init__(self, variables: Sequence[str], batches: Iterator[BindingBatch]):
+        self.variables: List[str] = list(variables)
+        self._batches = iter(batches)
+
+    def __iter__(self) -> "BatchResult":
+        return self
+
+    def __next__(self) -> BindingBatch:
+        return next(self._batches)
+
+    def close(self) -> None:
+        """Abandon the stream (cancels the evaluation; idempotent)."""
+        close = getattr(self._batches, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "BatchResult":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def to_result_set(self):
+        """Drain the remaining batches into a materialized ResultSet."""
+        from repro.sparql.results import ResultSet
+
+        return ResultSet.from_batches(self.variables, self)
+
+
+#: Row granularity of the scalar→batch adapter below.
+ADAPTER_BATCH_ROWS = 256
+
+
+def batches_from_bindings(
+    variables: Sequence[str],
+    rows: Iterator["Binding"],
+    batch_rows: int = ADAPTER_BATCH_ROWS,
+) -> Iterator[BindingBatch]:
+    """Adapt scalar ``Binding`` dicts into term-kind batches.
+
+    The compatibility shim behind :meth:`Engine.query_batches` for solvers
+    without a batch surface: rows are packed into term columns lazily, so
+    the scalar path streams through the batch-consuming serializers with
+    the same bounded footprint (minus late materialization, which a scalar
+    solver never had).
+    """
+    names = tuple(variables)
+    kinds = {var: KIND_TERM for var in names}
+    columns: List[List[Optional[Term]]] = [[] for _ in names]
+    count = 0
+    for row in rows:
+        for index, var in enumerate(names):
+            columns[index].append(row.get(var))
+        count += 1
+        if count >= batch_rows:
+            yield BindingBatch(names, dict(zip(names, columns)), dict(kinds), count)
+            columns = [[] for _ in names]
+            count = 0
+    if count:
+        yield BindingBatch(names, dict(zip(names, columns)), dict(kinds), count)
+
+
 def slice_batches(
     stream: Iterator[BindingBatch], offset: int, end: Optional[int]
 ) -> Iterator[BindingBatch]:

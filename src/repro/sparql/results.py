@@ -18,10 +18,17 @@ from __future__ import annotations
 from collections import Counter
 from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from repro.rdf.terms import Term
+from repro.rdf.namespaces import XSD
+from repro.rdf.terms import Literal, Term
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.sparql.binding_batch import BindingBatch
+
+#: Datatypes whose literals ORDER BY compares by numeric value.
+_INTEGER_DATATYPES = frozenset((XSD.integer, XSD.int, XSD.long))
+_NUMERIC_DATATYPES = _INTEGER_DATATYPES | frozenset(
+    (XSD.decimal, XSD.double, XSD.float)
+)
 
 Binding = Dict[str, Optional[Term]]
 
@@ -153,9 +160,27 @@ class ResultSet:
 
 
 def _sort_key(term: Optional[Term]):
-    """Stable sort key for heterogeneous terms."""
+    """Stable sort key for heterogeneous terms.
+
+    Typed numeric literals compare by *value* (so ``9`` sorts before
+    ``10``), everything else by its lexical/string form.  The key is a
+    ``(rank, number, text)`` tuple so a column mixing numerics with other
+    terms still has a total order: numerics first, then the rest
+    lexically, with the lexical form breaking ties between numerically
+    equal spellings (``1`` vs ``1.0``) deterministically.
+    """
     if term is None:
-        return ""
+        return (0, 0, "")
+    if isinstance(term, Literal) and term.datatype in _NUMERIC_DATATYPES:
+        try:
+            value = (
+                int(term.lexical)
+                if term.datatype in _INTEGER_DATATYPES
+                else float(term.lexical)
+            )
+            return (0, value, term.lexical)
+        except ValueError:
+            pass  # ill-typed lexical form: fall through to the string rank
     if hasattr(term, "lexical"):
-        return str(term.lexical)  # type: ignore[union-attr]
-    return str(term)
+        return (1, 0, str(term.lexical))  # type: ignore[union-attr]
+    return (1, 0, str(term))
