@@ -50,6 +50,11 @@ def serving_setup():
     return dataset, engine
 
 
+def _hit_ratio(counters: dict) -> float:
+    """Hit ratio of a cache-counter dict with ``hits``/``misses`` keys."""
+    return counters["hits"] / max(1, counters["hits"] + counters["misses"])
+
+
 def _median_ms(run, repeats: int = REPEATS) -> float:
     times = []
     for _ in range(repeats):
@@ -77,14 +82,15 @@ def test_warm_plan_cache_beats_cold(serving_setup, query_id):
     warm()
     warm_median = _median_ms(warm)
     # Counters are read before the cold phase (cold() clears them each run).
-    hit_rate = engine.plan_cache.hits / max(
-        1, engine.plan_cache.hits + engine.plan_cache.misses
-    )
+    stats = engine.stats()
+    plan_rate = _hit_ratio(stats["plan_cache"])
+    region_rate = _hit_ratio(stats["region_cache"])
     cold_median = _median_ms(cold)
     print(
         f"\nrepeated-query {query_id}: cold median {cold_median:.3f} ms, "
         f"warm median {warm_median:.3f} ms "
-        f"(x{cold_median / max(warm_median, 1e-9):.2f}, cache hit rate {hit_rate:.2f})"
+        f"(x{cold_median / max(warm_median, 1e-9):.2f}, "
+        f"plan hits {plan_rate:.2f}, region hits {region_rate:.2f})"
     )
     assert warm_median < cold_median, (
         f"{query_id}: warm plan-cache median ({warm_median:.3f} ms) should beat "

@@ -1,0 +1,327 @@
+"""Workload-aware cache admission: a TinyLFU filter shared by the caches.
+
+The engine carries three byte-bounded LRU caches — the plan cache, the
+candidate-region cache, and the per-predicate reachability indexes — that
+compete for memory under a served workload.  Plain LRU admits *every*
+insert, so on a skewed open-loop mix the long tail of one-hit-wonder
+queries continuously evicts the entries that actually carry the QPS: each
+cold query's regions displace a hot plan's regions that will be needed
+again within a few requests.
+
+:class:`TinyLfuAdmission` implements the TinyLFU admission filter
+(Einziger et al.): a :class:`CountMinSketch` estimates how often each key
+has been *requested* (not how recently), a doorkeeper set gives
+first-time keys a provisional count without polluting the sketch, and the
+whole estimator ages by halving every counter once a sample-window of
+accesses has been observed, so yesterday's hot keys decay instead of
+squatting.  On insert under pressure the cache asks
+:meth:`~TinyLfuAdmission.admit`: the candidate only displaces the LRU
+eviction victim when its estimated frequency is *strictly* higher — a key
+seen once can never displace a key that has proven itself, which is
+exactly the one-hit-wonder filter LRU lacks.
+
+The policy is deliberately cheap (four ``uint16`` counter rows, a few
+hashes per access) and is consulted only when an insert would actually
+overflow the budget; an unpressured cache behaves exactly as before.
+Callers own locking: :class:`~repro.engine.region_cache.RegionCache`
+consults its policy under its own lock, and every process-shard worker
+builds a private policy next to its private cache.
+
+Knobs follow the house style (explicit constructor argument wins, then
+the environment, then the default; malformed values raise
+:class:`~repro.exceptions.EngineError` at construction):
+``REPRO_CACHE_ADMISSION=tinylfu|lru`` selects the policy,
+``REPRO_CACHE_SKETCH_BYTES`` sizes the sketch, and
+``REPRO_REGION_CACHE_PLAN_SHARE`` caps the fraction of the region budget
+one plan may hold (see :mod:`repro.engine.region_cache`).
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from typing import Hashable, Optional
+
+from repro.exceptions import EngineError
+
+#: Supported admission policies: ``"tinylfu"`` is the frequency filter
+#: above; ``"lru"`` is classic admit-always LRU (no policy object at all).
+CACHE_ADMISSION_MODES = ("tinylfu", "lru")
+
+#: Environment override for engines constructed without an explicit
+#: ``cache_admission`` argument: ``REPRO_CACHE_ADMISSION=lru`` re-runs an
+#: unmodified workload on plain LRU caches (the CI sweep does exactly
+#: this).
+CACHE_ADMISSION_ENV = "REPRO_CACHE_ADMISSION"
+
+#: Environment override for the Count-Min sketch byte budget of engines
+#: constructed without an explicit ``cache_sketch_bytes``.
+CACHE_SKETCH_BYTES_ENV = "REPRO_CACHE_SKETCH_BYTES"
+
+#: Environment override for the per-plan share of the region-cache budget
+#: of engines constructed without an explicit ``region_cache_plan_share``.
+REGION_PLAN_SHARE_ENV = "REPRO_REGION_CACHE_PLAN_SHARE"
+
+DEFAULT_CACHE_ADMISSION = "tinylfu"
+
+#: 64 KiB of ``uint16`` counters: 4 rows x 8192 columns — comfortably wide
+#: for the tens of thousands of distinct region keys a serving mix touches
+#: per aging window, at a memory cost far below one cached region.
+DEFAULT_CACHE_SKETCH_BYTES = 64 << 10
+
+#: By default one plan may fill the whole region budget (single-plan
+#: workloads — every benchmark gate before this PR — keep their exact
+#: behaviour); serving deployments lower it so a skewed mix cannot let one
+#: hot plan monopolize the cache.
+DEFAULT_REGION_PLAN_SHARE = 1.0
+
+
+def resolve_cache_admission(mode: Optional[str] = None) -> str:
+    """Validate an admission mode, falling back to the environment override.
+
+    An explicit ``mode`` argument always wins; ``None`` consults
+    ``REPRO_CACHE_ADMISSION`` and finally defaults to ``"tinylfu"``.
+    """
+    if mode is None:
+        mode = (
+            os.environ.get(CACHE_ADMISSION_ENV, "").strip().lower()
+            or DEFAULT_CACHE_ADMISSION
+        )
+    if mode not in CACHE_ADMISSION_MODES:
+        raise EngineError(
+            f"unknown cache admission {mode!r}; "
+            f"expected one of {CACHE_ADMISSION_MODES}"
+        )
+    return mode
+
+
+def resolve_cache_sketch_bytes(sketch_bytes: Optional[int] = None) -> int:
+    """Validate a sketch byte budget, falling back to the environment.
+
+    An explicit non-None ``sketch_bytes`` always wins; ``None`` consults
+    ``REPRO_CACHE_SKETCH_BYTES`` and finally the default.  Non-positive or
+    malformed values raise at construction (a zero-width sketch cannot
+    estimate anything — disable admission with ``cache_admission="lru"``
+    instead).
+    """
+    if sketch_bytes is None:
+        env = os.environ.get(CACHE_SKETCH_BYTES_ENV, "").strip()
+        if not env:
+            return DEFAULT_CACHE_SKETCH_BYTES
+        try:
+            sketch_bytes = int(env)
+        except ValueError as error:
+            raise EngineError(f"invalid {CACHE_SKETCH_BYTES_ENV}={env!r}") from error
+    if not isinstance(sketch_bytes, int) or isinstance(sketch_bytes, bool) \
+            or sketch_bytes < 1:
+        raise EngineError(
+            f"cache_sketch_bytes must be a positive integer, got {sketch_bytes!r}"
+        )
+    return sketch_bytes
+
+
+def resolve_region_plan_share(share: Optional[float] = None) -> float:
+    """Validate a per-plan region-budget share, falling back to the environment.
+
+    An explicit non-None ``share`` always wins; ``None`` consults
+    ``REPRO_REGION_CACHE_PLAN_SHARE`` and finally ``1.0`` (no per-plan
+    cap).  The share is a fraction in ``(0, 1]``; anything else raises at
+    construction.
+    """
+    if share is None:
+        env = os.environ.get(REGION_PLAN_SHARE_ENV, "").strip()
+        if not env:
+            return DEFAULT_REGION_PLAN_SHARE
+        try:
+            share = float(env)
+        except ValueError as error:
+            raise EngineError(f"invalid {REGION_PLAN_SHARE_ENV}={env!r}") from error
+    if isinstance(share, bool) or not isinstance(share, (int, float)) \
+            or not 0.0 < share <= 1.0:
+        raise EngineError(
+            f"region_cache_plan_share must be a fraction in (0, 1], got {share!r}"
+        )
+    return float(share)
+
+
+class CountMinSketch:
+    """A Count-Min sketch of ``uint16`` counters with halving-based aging.
+
+    ``depth`` independent hash rows of ``width`` counters each; an
+    :meth:`add` increments one counter per row, an :meth:`estimate` reads
+    the row minimum — an upper bound on the true count that two keys can
+    only inflate by colliding in *every* row.  Once :attr:`sample_period`
+    accesses have been observed, every counter is halved (integer floor)
+    and the window restarts: a key's estimate decays geometrically unless
+    the workload keeps re-requesting it.  Halving is order-preserving —
+    ``x // 2 <= y // 2`` whenever ``x <= y`` and the row minimum commutes
+    with the floor division — so aging never inverts a frequency
+    comparison, it only compresses it.
+    """
+
+    DEPTH = 4
+
+    #: Per-row hash salts (odd 64-bit multiplicative constants).  Region
+    #: keys are deeply nested tuples whose ``hash()`` walks the whole plan
+    #: fingerprint, so the key is hashed exactly once per operation and the
+    #: per-row columns are derived by cheap integer mixing.
+    _SALTS = (0x9E3779B97F4A7C15, 0xBF58476D1CE4E5B9, 0x94D049BB133111EB,
+              0xD6E8FEB86659FD93)
+
+    _MASK64 = (1 << 64) - 1
+
+    __slots__ = ("width", "sample_period", "ops", "resets", "_rows")
+
+    def __init__(
+        self,
+        sketch_bytes: int = DEFAULT_CACHE_SKETCH_BYTES,
+        sample_period: Optional[int] = None,
+    ):
+        # Two bytes per uint16 counter, DEPTH rows, at least 64 columns so
+        # a tiny budget still yields a usable (if collision-prone) sketch.
+        self.width = max(64, sketch_bytes // (2 * self.DEPTH))
+        #: Accesses per aging window; ~8 samples per counter column keeps
+        #: hot keys well separated from the tail before counters saturate.
+        self.sample_period = (
+            sample_period if sample_period is not None else 8 * self.width
+        )
+        self.ops = 0
+        self.resets = 0
+        self._rows = [array("H", bytes(2 * self.width)) for _ in range(self.DEPTH)]
+
+    def _column(self, salt: int, key_hash: int) -> int:
+        mixed = ((key_hash ^ salt) * 0x9E3779B97F4A7C15) & self._MASK64
+        return (mixed ^ (mixed >> 32)) % self.width
+
+    def add(self, key: Hashable) -> bool:
+        """Count one access of ``key``; True when the window aged (halved)."""
+        key_hash = hash(key)
+        for salt, row in zip(self._SALTS, self._rows):
+            column = self._column(salt, key_hash)
+            if row[column] < 0xFFFF:
+                row[column] += 1
+        return self.touch()
+
+    def touch(self) -> bool:
+        """Advance the aging window without counting; True when it aged."""
+        self.ops += 1
+        if self.ops >= self.sample_period:
+            self.halve()
+            return True
+        return False
+
+    def estimate(self, key: Hashable) -> int:
+        """Upper-bound estimate of ``key``'s access count in this window."""
+        key_hash = hash(key)
+        return min(
+            row[self._column(salt, key_hash)]
+            for salt, row in zip(self._SALTS, self._rows)
+        )
+
+    def halve(self) -> None:
+        """Age every counter by integer halving and restart the window."""
+        for row in self._rows:
+            row[:] = array("H", [value >> 1 for value in row])
+        self.ops = 0
+        self.resets += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return (
+            f"CountMinSketch(width={self.width}, depth={self.DEPTH}, "
+            f"ops={self.ops}/{self.sample_period}, resets={self.resets})"
+        )
+
+
+class TinyLfuAdmission:
+    """TinyLFU admission policy: doorkeeper + Count-Min sketch.
+
+    The owning cache calls :meth:`record_access` on every lookup (hit or
+    miss) so the estimator sees the request stream, and :meth:`admit` when
+    an insert would overflow the budget.  A first-time key lands in the
+    doorkeeper (worth one access); only repeat keys reach the sketch, so
+    the long tail of once-seen keys cannot saturate the counters.  The
+    doorkeeper is cleared whenever the sketch ages — it approximates "keys
+    seen this window", exactly like the counters it fronts.
+    """
+
+    __slots__ = ("sketch", "accepts", "rejects", "_doorkeeper")
+
+    def __init__(
+        self,
+        sketch_bytes: int = DEFAULT_CACHE_SKETCH_BYTES,
+        sample_period: Optional[int] = None,
+    ):
+        self.sketch = CountMinSketch(sketch_bytes, sample_period=sample_period)
+        self.accepts = 0
+        self.rejects = 0
+        self._doorkeeper: set = set()
+
+    def record_access(self, key: Hashable) -> None:
+        """Count one request for ``key`` (called on every cache lookup)."""
+        if key in self._doorkeeper:
+            aged = self.sketch.add(key)
+        else:
+            self._doorkeeper.add(key)
+            aged = self.sketch.touch()
+        if aged:
+            self._doorkeeper.clear()
+
+    def estimate(self, key: Hashable) -> int:
+        """Estimated request frequency of ``key`` in the current window."""
+        frequency = self.sketch.estimate(key)
+        if key in self._doorkeeper:
+            frequency += 1
+        return frequency
+
+    def admit(self, candidate: Hashable, victim: Hashable) -> bool:
+        """True when ``candidate`` should displace the eviction ``victim``.
+
+        Strictly-greater, so a tie keeps the resident entry: a key seen
+        exactly once (doorkeeper only) can never displace a key that has
+        been requested again since it was cached.
+        """
+        if self.estimate(candidate) > self.estimate(victim):
+            self.accepts += 1
+            return True
+        self.rejects += 1
+        return False
+
+    @property
+    def sketch_resets(self) -> int:
+        """How many times the estimator has aged (halved) so far."""
+        return self.sketch.resets
+
+    def clear(self) -> None:
+        """Forget the learned frequency state (cache invalidation)."""
+        self.sketch = CountMinSketch(
+            sketch_bytes=2 * self.sketch.DEPTH * self.sketch.width,
+            sample_period=self.sketch.sample_period,
+        )
+        self._doorkeeper.clear()
+        self.accepts = 0
+        self.rejects = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return (
+            f"TinyLfuAdmission(accepts={self.accepts}, rejects={self.rejects}, "
+            f"doorkeeper={len(self._doorkeeper)}, sketch={self.sketch!r})"
+        )
+
+
+def make_admission_policy(
+    mode: str, sketch_bytes: int = DEFAULT_CACHE_SKETCH_BYTES
+) -> Optional[TinyLfuAdmission]:
+    """A policy instance for a resolved mode; ``None`` for plain LRU.
+
+    Each cache gets its *own* instance (region cache, path-index manager,
+    every process-shard worker): key spaces differ, and sharing one sketch
+    across processes would need synchronized counters for no accuracy win.
+    """
+    if mode == "lru":
+        return None
+    if mode != "tinylfu":
+        raise EngineError(
+            f"unknown cache admission {mode!r}; "
+            f"expected one of {CACHE_ADMISSION_MODES}"
+        )
+    return TinyLfuAdmission(sketch_bytes)

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Generic, Hashable, Optional, Sequence, Tuple, TypeVar
+from typing import Dict, Generic, Hashable, Optional, Sequence, Tuple, TypeVar
 
 from repro.sparql import expressions as expr
 from repro.sparql.ast import TriplePattern
@@ -86,6 +86,16 @@ class PlanCache(Generic[PlanT]):
             self.hits += 1
             return plan
 
+    def peek(self, key: Hashable) -> Optional[PlanT]:
+        """The cached plan for ``key`` without touching recency or counters.
+
+        Cache warming resolves fingerprints through this so a warm-up pass
+        neither inflates the hit ratio benchmarks report nor reorders the
+        LRU chain ahead of real queries.
+        """
+        with self._lock:
+            return self._plans.get(key)
+
     def put(self, key: Hashable, plan: PlanT) -> None:
         """Store a plan, evicting the least recently used entries if full."""
         with self._lock:
@@ -110,6 +120,17 @@ class PlanCache(Generic[PlanT]):
     def __contains__(self, key: Hashable) -> bool:
         with self._lock:
             return key in self._plans
+
+    def counters(self) -> Dict[str, int]:
+        """Counter snapshot in the shape :meth:`TurboEngine.stats` reports."""
+        with self._lock:
+            return {
+                "size": len(self._plans),
+                "capacity": self.maxsize,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
 
     def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
         return (

@@ -52,6 +52,7 @@ from dataclasses import dataclass, fields
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.graph.labeled_graph import LabeledGraph
+from repro.utils.stats import CounterBundle
 
 #: Default byte budget of one engine's path-index LRU (64 MiB).
 DEFAULT_PATH_INDEX_BYTES = 64 * 1024 * 1024
@@ -126,7 +127,7 @@ def bfs_reaches(graph: LabeledGraph, edge_label: int, source: int, target: int) 
 
 # ------------------------------------------------------------------- counters
 @dataclass
-class PathIndexCounters:
+class PathIndexCounters(CounterBundle):
     """Counters behind ``stats()["path_index"]``."""
 
     #: Index builds (cache misses that constructed an index).
@@ -148,10 +149,17 @@ class PathIndexCounters:
     interval_rejects: int = 0
     #: Probes answered from materialized closure postings.
     closure_hits: int = 0
+    #: Admission decisions (see :mod:`repro.engine.cache_admission`): a
+    #: freshly built index is only cached when its label's request
+    #: frequency beats the LRU victim's; a rejected index still answers
+    #: the probe that built it, it just isn't retained.
+    admission_accepts: int = 0
+    admission_rejects: int = 0
+    sketch_resets: int = 0
 
     def snapshot(self) -> Dict[str, int]:
         """A plain-dict copy (merged into the ``path_index`` stats payload)."""
-        return {field.name: getattr(self, field.name) for field in fields(self)}
+        return self.as_dict()
 
 
 # ---------------------------------------------------------------------- index
@@ -684,11 +692,20 @@ class PathIndexManager:
     CLOSURE_SHARE = 0.25
 
     def __init__(
-        self, graph: LabeledGraph, budget_bytes: int, shared: bool = False
+        self,
+        graph: LabeledGraph,
+        budget_bytes: int,
+        shared: bool = False,
+        admission=None,
     ) -> None:
         self.graph = graph
         self.budget_bytes = budget_bytes
         self.shared = shared
+        #: Optional :class:`~repro.engine.cache_admission.TinyLfuAdmission`
+        #: (injected by the engine — this module stays engine-agnostic):
+        #: when inserting a fresh index would overflow the budget, it must
+        #: beat the LRU victim label's request frequency to be retained.
+        self.admission = admission
         self.counters = PathIndexCounters()
         self._indexes: "OrderedDict[int, ReachabilityIndex]" = OrderedDict()
         self._handles: Dict[int, SharedIndexHandle] = {}
@@ -706,6 +723,8 @@ class PathIndexManager:
         if self.budget_bytes <= 0 or edge_label in self._too_big:
             self.counters.bfs_fallbacks += 1
             return None
+        if self.admission is not None:
+            self.admission.record_access(edge_label)
         index = self._indexes.get(edge_label)
         if index is not None:
             self.counters.hits += 1
@@ -722,6 +741,19 @@ class PathIndexManager:
             self._too_big.add(edge_label)
             self.counters.bfs_fallbacks += 1
             return None
+        if (
+            self.admission is not None
+            and self._bytes + index.nbytes > self.budget_bytes
+            and self._indexes
+        ):
+            # Inserting would evict: the new label must beat the LRU
+            # victim's request frequency, else the probe uses the fresh
+            # index once and the resident indexes stay put.
+            victim_label = next(iter(self._indexes))
+            if not self.admission.admit(edge_label, victim_label):
+                self.counters.admission_rejects += 1
+                return index
+            self.counters.admission_accepts += 1
         self._indexes[edge_label] = index
         self._bytes += index.nbytes
         if self.shared:
@@ -764,6 +796,8 @@ class PathIndexManager:
     # -------------------------------------------------------------- lifecycle
     def stats(self) -> Dict[str, object]:
         """The ``stats()["path_index"]`` payload."""
+        if self.admission is not None:
+            self.counters.sketch_resets = self.admission.sketch_resets
         return {
             "budget_bytes": self.budget_bytes,
             "entries": len(self._indexes),
@@ -776,6 +810,8 @@ class PathIndexManager:
         """Drop every cached index (and unlink exported segments)."""
         self._indexes.clear()
         self._too_big.clear()
+        if self.admission is not None:
+            self.admission.clear()
         self._bytes = 0
         for handle in self._handles.values():
             handle.unlink()

@@ -122,6 +122,7 @@ class _MatchJob:
         expected_workers: int,
         region_cache=None,
         region_key=None,
+        warm_only: bool = False,
     ):
         self.graph = graph
         self.config = config
@@ -134,6 +135,8 @@ class _MatchJob:
         #: thread) plus the stable per-(query, config) key prefix.
         self.region_cache = region_cache
         self.region_key = region_key
+        #: Cache-warming pass: explore + cache regions, skip the search.
+        self.warm_only = warm_only
 
         # Dynamic chunking: workers repeatedly pop small chunks of starting
         # vertices, which evens out skewed candidate-region sizes.
@@ -196,6 +199,7 @@ class _MatchJob:
                     self.predicates, self.root_predicate, chunk,
                     emit=self.emit, stopped=self.stop.is_set,
                     region_cache=self.region_cache, region_key=self.region_key,
+                    warm_only=self.warm_only,
                 )
                 local_work += chunk_work
                 local_chunk_work.append(chunk_work)
@@ -357,6 +361,7 @@ class ParallelMatcher:
         prepared: Optional[PreparedQuery] = None,
         region_cache=None,
         region_key=None,
+        warm_only: bool = False,
     ) -> Iterator[SolutionBatch]:
         """Stream columnar solution batches as the pool workers produce them.
 
@@ -414,6 +419,7 @@ class ParallelMatcher:
                 self.graph, self.config, query, prepared, predicates,
                 self.chunk_size, self.workers,
                 region_cache=region_cache, region_key=region_key,
+                warm_only=warm_only,
             )
             self._ensure_pool()
             # Jobs are serialized per pool: a predecessor whose stream was

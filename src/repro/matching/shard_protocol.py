@@ -138,6 +138,7 @@ def run_chunk(
     stopped: Callable[[], bool],
     region_cache=None,
     region_key=None,
+    warm_only: bool = False,
 ) -> int:
     """Match every start data vertex of one chunk, emitting solution batches.
 
@@ -152,8 +153,12 @@ def run_chunk(
     polled between candidate regions so cancellation takes effect promptly.
     ``region_cache``/``region_key`` enable cross-query region reuse exactly
     as in :meth:`TurboMatcher.iter_match_batches` — the thread pool shares
-    the engine's cache, each process-shard worker holds its own.  Returns
-    the chunk's work units (candidate-region vertices explored plus search
+    the engine's cache, each process-shard worker holds its own.
+    ``warm_only`` turns the chunk into a cache-warming pass: regions are
+    explored (and stored) exactly as usual, but the subgraph search is
+    skipped and nothing is emitted — the scheduler-driven warm-up uses this
+    to pre-populate worker caches after a pool (re)start.  Returns the
+    chunk's work units (candidate-region vertices explored plus search
     recursions), the load-balance quantity the Figure 16 benchmark reports.
     """
     work = 0
@@ -192,6 +197,8 @@ def run_chunk(
             if region is None:
                 continue
             work += region.size()
+            if warm_only:
+                continue
             order = determine_matching_order(tree, region, order_cache)
             search_stats = SearchStatistics()
             searcher.reset(graph, query, tree, region, order, config, search_stats)

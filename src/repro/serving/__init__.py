@@ -10,16 +10,20 @@ from repro.serving.scheduler import (
     DEFAULT_MAX_INFLIGHT,
     DEFAULT_QUEUE_DEPTH,
     DEFAULT_TIMEOUT_MS,
+    DEFAULT_WARM_PLANS,
+    PlanMixTracker,
     QueryScheduler,
     QueryTimeout,
     RunningQuery,
     SERVE_MAX_INFLIGHT_ENV,
     SERVE_QUEUE_DEPTH_ENV,
     SERVE_TIMEOUT_MS_ENV,
+    SERVE_WARM_PLANS_ENV,
     ServerOverloaded,
     resolve_serve_max_inflight,
     resolve_serve_queue_depth,
     resolve_serve_timeout_ms,
+    resolve_serve_warm_plans,
 )
 from repro.serving.server import ServerThread, SparqlServer
 
@@ -27,16 +31,20 @@ __all__ = [
     "DEFAULT_MAX_INFLIGHT",
     "DEFAULT_QUEUE_DEPTH",
     "DEFAULT_TIMEOUT_MS",
+    "DEFAULT_WARM_PLANS",
+    "PlanMixTracker",
     "QueryScheduler",
     "QueryTimeout",
     "RunningQuery",
     "SERVE_MAX_INFLIGHT_ENV",
     "SERVE_QUEUE_DEPTH_ENV",
     "SERVE_TIMEOUT_MS_ENV",
+    "SERVE_WARM_PLANS_ENV",
     "ServerOverloaded",
     "ServerThread",
     "SparqlServer",
     "resolve_serve_max_inflight",
     "resolve_serve_queue_depth",
     "resolve_serve_timeout_ms",
+    "resolve_serve_warm_plans",
 ]

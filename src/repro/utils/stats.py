@@ -1,9 +1,32 @@
-"""Tiny statistics helpers for benchmark reporting."""
+"""Tiny statistics helpers: counter-bundle plumbing and benchmark math."""
 
 from __future__ import annotations
 
 import math
+from dataclasses import fields
 from typing import Dict, Sequence
+
+
+class CounterBundle:
+    """Field-driven ``merge``/``as_dict`` mixin for ``@dataclass`` counters.
+
+    Several subsystems snapshot integer counters into a dataclass, ship the
+    snapshot across a thread or process boundary, and sum the snapshots in
+    :meth:`TurboEngine.stats`.  Hand-written merge code silently drops any
+    counter added later; this mixin derives both operations from
+    :func:`dataclasses.fields`, so a new field is aggregated and reported
+    the moment it is declared.
+    """
+
+    def as_dict(self) -> Dict[str, int]:
+        """Every declared counter field by name."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def merge(self, other: "CounterBundle") -> "CounterBundle":
+        """Add ``other``'s counters into this bundle, field by field."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
 
 
 def geometric_mean(values: Sequence[float]) -> float:

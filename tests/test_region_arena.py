@@ -396,6 +396,8 @@ class TestEngineObservability:
         assert counters is not None
         assert set(counters) == {
             "capacity_bytes", "bytes", "entries", "hits", "misses", "evictions",
+            "plan_evictions", "admission_accepts", "admission_rejects",
+            "sketch_resets",
         }
         assert counters["hits"] > 0 and counters["misses"] > 0
         assert counters["entries"] > 0 and counters["bytes"] > 0

@@ -173,6 +173,37 @@ class TestProtocol:
             assert stats["scheduler"]["completed"] >= 1
             assert stats["scheduler"]["inflight"] == 0
 
+    def test_stats_schema_pins_cache_surfaces(self, engine):
+        # The /stats payload is the serving observability contract: the
+        # scheduler block (admission + warming) and the engine's three
+        # cache surfaces, including the TinyLFU admission counters.
+        with ServerThread(engine) as server:
+            sparql_get(server.port, PERSON_QUERY)
+            stats = json.loads(get(server.port, "/stats")[2])
+            assert set(stats["scheduler"]) == {
+                "max_inflight", "queue_depth", "timeout_ms", "warm_plans",
+                "inflight", "waiting", "tracked_plans", "admitted",
+                "completed", "rejected", "timed_out", "failed", "cancelled",
+                "warm_runs", "plans_warmed",
+            }
+            assert stats["scheduler"]["tracked_plans"] >= 1
+            engine_stats = stats["engine"]
+            assert set(engine_stats["plan_cache"]) == {
+                "size", "capacity", "hits", "misses", "evictions",
+            }
+            assert set(engine_stats["region_cache"]) == {
+                "capacity_bytes", "bytes", "entries", "hits", "misses",
+                "evictions", "plan_evictions", "admission_accepts",
+                "admission_rejects", "sketch_resets",
+            }
+            path_index = engine_stats["path_index"]
+            for field in (
+                "budget_bytes", "entries", "bytes", "builds", "hits",
+                "misses", "evictions", "admission_accepts",
+                "admission_rejects", "sketch_resets",
+            ):
+                assert field in path_index, field
+
 
 class TestAdmissionAndDeadlines:
     def test_overload_rejected_with_503(self, engine):
